@@ -1,0 +1,158 @@
+// REACTIVE — the §2.2.2 related-work protocols, measured: PEGASIS's chain
+// gathering ("nodes need only communicate with their closest neighbors and
+// they take turns in communicating with the sink") against LEACH, and
+// TEEN's threshold knob ("the user can control the trade-off between
+// energy efficiency and data accuracy").
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wmsn;
+  const auto args = bench::parseArgs(argc, argv);
+  bench::banner("REACTIVE", "PEGASIS chains and TEEN thresholds",
+                "the §2.2.2 hierarchical/reactive baselines, quantified");
+
+  // --- flat dissemination baselines (§2.2.1) ---------------------------------
+  {
+    std::vector<core::ScenarioConfig> configs;
+    for (auto protocol :
+         {core::ProtocolKind::kFlooding, core::ProtocolKind::kGossip,
+          core::ProtocolKind::kSpin, core::ProtocolKind::kDiffusion}) {
+      core::ScenarioConfig cfg;
+      cfg.protocol = protocol;
+      cfg.sensorCount = 80;
+      cfg.gatewayCount = 1;
+      cfg.feasiblePlaceCount = 2;
+      cfg.gatewaysMove = false;
+      cfg.width = 180;
+      cfg.height = 180;
+      cfg.rounds = 4;
+      cfg.packetsPerSensorPerRound = 1;
+      cfg.seed = 19;
+      configs.push_back(cfg);
+    }
+    const auto results = core::runScenariosParallel(configs, args.threads);
+
+    TextTable table({"protocol", "PDR", "data frames", "ctrl frames",
+                     "on-air kB", "energy/sensor mJ", "mean latency ms"});
+    for (const auto& r : results) {
+      table.addRow(
+          {r.protocol, TextTable::num(r.deliveryRatio, 3),
+           TextTable::num(r.dataFrames), TextTable::num(r.controlFrames),
+           TextTable::num(
+               static_cast<double>(r.dataBytes + r.controlBytes) / 1024.0, 1),
+           TextTable::num(r.sensorEnergy.meanJ * 1e3, 3),
+           TextTable::num(r.meanLatencyMs, 1)});
+    }
+    core::printSection(std::cout,
+                       "flat dissemination (§2.2.1): 80 sensors, 1 sink",
+                       table);
+    std::cout
+        << "measured shape: directed diffusion is the efficiency winner — "
+           "one exploratory flood, then unicast down the reinforced "
+           "gradient (~half of flooding's frames at equal delivery). SPIN "
+           "costs MORE than flooding on this workload: every reading is "
+           "novel everywhere, so every node still pulls every payload and "
+           "the ADV/REQ handshake is pure overhead — SPIN's savings require "
+           "REDUNDANT observations (the implosion/overlap problems of "
+           "§2.2.1), not unique-data gathering. Gossip's random walk is "
+           "cheap but loses half the readings to its TTL.\n\n";
+  }
+
+  // --- PEGASIS vs LEACH vs single-sink: energy per delivered reading --------
+  {
+    std::vector<core::ScenarioConfig> configs;
+    for (auto protocol :
+         {core::ProtocolKind::kLeach, core::ProtocolKind::kPegasis,
+          core::ProtocolKind::kSingleSink}) {
+      core::ScenarioConfig cfg;
+      cfg.protocol = protocol;
+      cfg.sensorCount = 80;
+      cfg.gatewayCount = 1;
+      cfg.feasiblePlaceCount = 2;
+      cfg.gatewaysMove = false;
+      cfg.width = 180;
+      cfg.height = 180;
+      cfg.rounds = 8;
+      cfg.packetsPerSensorPerRound = 2;
+      cfg.seed = 19;
+      configs.push_back(cfg);
+    }
+    const auto results = core::runScenariosParallel(configs, args.threads);
+
+    TextTable table({"protocol", "PDR", "energy/reading uJ", "data frames",
+                     "D2 (uJ²)"});
+    for (const auto& r : results) {
+      const double perReading =
+          r.delivered
+              ? r.sensorEnergy.totalJ / static_cast<double>(r.delivered)
+              : 0.0;
+      table.addRow({r.protocol, TextTable::num(r.deliveryRatio, 3),
+                    TextTable::num(perReading * 1e6, 1),
+                    TextTable::num(r.dataFrames),
+                    TextTable::num(r.sensorEnergy.varianceD2 * 1e6, 1)});
+    }
+    core::printSection(
+        std::cout, "gathering baselines, 80 sensors, single sink, 8 rounds",
+        table);
+    std::cout << "expected shape: PEGASIS's short chain links + one uplink "
+                 "per flush beat LEACH's cluster long-hauls on energy per "
+                 "reading; both beat hop-by-hop single-sink relaying on "
+                 "per-node balance.\n\n";
+  }
+
+  // --- TEEN's soft-threshold knob ---------------------------------------------
+  {
+    TextTable table({"soft threshold", "sensing events", "reports sent",
+                     "suppression %", "energy/sensor mJ"});
+    CsvWriter csv({"soft_threshold", "sensing_events", "reports",
+                   "suppression_pct", "energy_mj"});
+    for (double soft : {0.0, 1.0, 2.0, 5.0, 10.0, 20.0}) {
+      core::ScenarioConfig cfg;
+      cfg.protocol = core::ProtocolKind::kTeen;
+      cfg.sensorCount = 60;
+      cfg.gatewayCount = 1;
+      cfg.feasiblePlaceCount = 2;
+      cfg.width = 150;
+      cfg.height = 150;
+      cfg.gatewaysMove = false;
+      cfg.rounds = 6;
+      cfg.packetsPerSensorPerRound = 6;  // six sensing events per round
+      cfg.teen.hardThreshold = 20.0;
+      cfg.teen.softThreshold = soft;
+      cfg.seed = 23;
+
+      auto scenario = core::buildScenario(cfg);
+      core::Experiment experiment(*scenario);
+      const auto r = experiment.run();
+
+      std::uint64_t sensed = 0, reported = 0;
+      for (net::NodeId s : scenario->network->sensorIds()) {
+        const auto& teen =
+            dynamic_cast<const routing::TeenRouting&>(scenario->stack->at(s));
+        sensed += teen.sensingEvents();
+        reported += teen.reportsSent();
+      }
+      const double suppression =
+          sensed ? 100.0 * (1.0 - static_cast<double>(reported) /
+                                      static_cast<double>(sensed))
+                 : 0.0;
+      table.addRow({TextTable::num(soft, 1), TextTable::num(sensed),
+                    TextTable::num(reported),
+                    TextTable::num(suppression, 1),
+                    TextTable::num(r.sensorEnergy.meanJ * 1e3, 3)});
+      csv.addRow({TextTable::num(soft, 1), TextTable::num(sensed),
+                  TextTable::num(reported), TextTable::num(suppression, 2),
+                  TextTable::num(r.sensorEnergy.meanJ * 1e3, 4)});
+    }
+    core::printSection(
+        std::cout,
+        "TEEN: soft threshold vs reporting rate (hard threshold fixed)",
+        table);
+    std::cout << "expected shape: suppression (energy saved) rises "
+                 "monotonically with the soft threshold — the energy/"
+                 "accuracy dial of §2.2.2, measured.\n";
+    bench::maybeWriteCsv(args, csv);
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// TAB1 — reproduces Table 1 of the paper: "Routing table generation and
+// maintenance of node Si" under MLR. Five feasible places A..E, three
+// gateways; the scripted schedule follows the paper's narrative:
+//   round 1: gateways at A, B, C     → Si's table: A:8, B:6, C:7 (selects B)
+//   round 2: B's gateway moves to D  → adds D:5              (selects D)
+//   round 3: A's gateway moves to E  → adds E:6              (selects D)
+//
+// The topology is a 17-sensor line with Si at index 8; places sit next to
+// line indices {1, 3, 14, 12, 13}, giving exactly the paper's hop column.
+
+#include "bench_util.hpp"
+#include "routing/mlr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wmsn;
+  const auto args = bench::parseArgs(argc, argv);
+  bench::banner("TAB1", "MLR incremental routing-table evolution",
+                "Si accumulates one entry per feasible place, round by "
+                "round, never rebuilding (Table 1)");
+
+  // Line of 17 sensors, 20 m spacing, radio 25 m. Hops from Si (index 8)
+  // to a place adjacent to index j is |8-j|+1.
+  std::vector<net::Point> sensors;
+  for (int i = 0; i < 17; ++i) sensors.push_back({20.0 * i, 0.0});
+  const std::array<int, 5> placeIndex = {1, 3, 14, 12, 13};  // A..E
+  std::vector<net::Point> places;
+  for (int j : placeIndex) places.push_back({20.0 * j, 18.0});
+  const net::NodeId si = 8;
+  const std::array<std::uint16_t, 5> paperHops = {8, 6, 7, 5, 6};
+  const char* placeName = "ABCDE";
+
+  core::ScenarioConfig cfg;
+  cfg.protocol = core::ProtocolKind::kMlr;
+  cfg.mac = net::MacKind::kIdeal;
+  cfg.medium.collisions = false;
+  cfg.rounds = 3;
+  cfg.packetsPerSensorPerRound = 1;
+  cfg.radioRange = 25.0;
+  cfg.roundDuration = sim::Time::seconds(10);
+  cfg.trafficStart = sim::Time::seconds(2);
+
+  // The paper's schedule: {A,B,C} → {A,D,C} → {E,D,C}.
+  auto schedule = std::make_unique<net::ScriptedSchedule>(
+      std::vector<std::vector<std::size_t>>{{0, 1, 2}, {0, 3, 2}, {4, 3, 2}},
+      places.size());
+
+  auto scenario =
+      core::buildScenarioAt(cfg, sensors, places, {0, 1, 2},
+                            std::move(schedule));
+  core::Experiment experiment(*scenario);
+
+  CsvWriter csv({"round", "place", "paper_hops", "measured_hops",
+                 "occupied", "selected"});
+  experiment.setRoundObserver([&](std::uint32_t round) {
+    const auto& mlr =
+        dynamic_cast<const routing::MlrRouting&>(scenario->stack->at(si));
+    TextTable table({"Pi", "paper hops", "measured hops", "route"});
+    const auto selected = mlr.selectedPlace();
+    for (std::size_t p = 0; p < places.size(); ++p) {
+      const auto& entry = mlr.placeTable()[p];
+      std::string route = "------";
+      if (entry.known && mlr.occupancy().contains(static_cast<std::uint16_t>(p)))
+        route = std::string("-----,") + placeName[p];
+      if (selected && *selected == p) route += "  <== selected";
+      table.addRow({std::string(1, placeName[p]),
+                    entry.known ? TextTable::num(paperHops[p]) : "-",
+                    entry.known ? TextTable::num(entry.hops) : "-",
+                    route});
+      csv.addRow({TextTable::num(round + 1), std::string(1, placeName[p]),
+                  TextTable::num(paperHops[p]),
+                  entry.known ? TextTable::num(entry.hops) : "",
+                  mlr.occupancy().contains(static_cast<std::uint16_t>(p))
+                      ? "1"
+                      : "0",
+                  selected && *selected == p ? "1" : "0"});
+    }
+    core::printSection(std::cout,
+                       "Si routing table during round " +
+                           std::to_string(round + 1) +
+                           " (paper Table 1" +
+                           (round == 0   ? "a"
+                            : round == 1 ? "b"
+                                         : "c") +
+                           ")",
+                       table);
+  });
+
+  const auto result = experiment.run();
+  std::cout << "entries accumulated by Si: "
+            << dynamic_cast<const routing::MlrRouting&>(
+                   scenario->stack->at(si))
+                   .knownEntryCount()
+            << " of |P| = " << places.size() << "\n";
+  std::cout << "delivery ratio over the 3 rounds: "
+            << TextTable::num(result.deliveryRatio, 3) << "\n";
+  bench::maybeWriteCsv(args, csv);
+  return 0;
+}

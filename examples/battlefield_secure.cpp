@@ -1,0 +1,71 @@
+// Battlefield surveillance — the paper's motivating scenario for SECURE
+// routing (§6: "battlefield environments, where the base station and
+// possibly the sensors need to be mobile" and nodes face capture).
+//
+// Scenario: 120 seismic sensors along a border strip, 3 mobile gateways.
+// An adversary captures several sensors and mounts, in turn, a sinkhole and
+// a replay campaign. We run each attack against plain MLR and against
+// SecMLR and print the resulting intelligence picture.
+
+#include <iostream>
+
+#include "core/wmsn.hpp"
+
+namespace {
+
+wmsn::core::ScenarioConfig fieldConfig(wmsn::core::ProtocolKind protocol,
+                                       wmsn::attacks::AttackKind attack) {
+  wmsn::core::ScenarioConfig cfg;
+  cfg.protocol = protocol;
+  cfg.sensorCount = 120;
+  cfg.gatewayCount = 3;
+  cfg.feasiblePlaceCount = 6;
+  cfg.width = 300;
+  cfg.height = 120;  // a border strip
+  cfg.radioRange = 35;
+  cfg.rounds = 6;
+  cfg.packetsPerSensorPerRound = 2;
+  cfg.attack.kind = attack;
+  cfg.attackerCount = attack == wmsn::attacks::AttackKind::kNone ? 0 : 4;
+  cfg.seed = 1944;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wmsn;
+  std::cout << "Battlefield WMSN — 120 seismic sensors on a 300 m border "
+               "strip, 3 mobile gateways, 4 captured nodes\n\n";
+
+  const std::vector<attacks::AttackKind> campaigns = {
+      attacks::AttackKind::kNone, attacks::AttackKind::kSinkhole,
+      attacks::AttackKind::kReplay, attacks::AttackKind::kHelloFlood};
+
+  TextTable table({"campaign", "MLR readings received", "MLR PDR",
+                   "SecMLR readings received", "SecMLR PDR",
+                   "SecMLR rejections"});
+  for (const auto attack : campaigns) {
+    const auto mlr = core::runScenario(
+        fieldConfig(core::ProtocolKind::kMlr, attack));
+    const auto sec = core::runScenario(
+        fieldConfig(core::ProtocolKind::kSecMlr, attack));
+    table.addRow({attacks::toString(attack), TextTable::num(mlr.delivered),
+                  TextTable::num(mlr.deliveryRatio, 3),
+                  TextTable::num(sec.delivered),
+                  TextTable::num(sec.deliveryRatio, 3),
+                  TextTable::num(sec.rejectedMacs + sec.rejectedReplays +
+                                 sec.rejectedTesla)});
+  }
+  core::printSection(std::cout,
+                     "intelligence picture under each attack campaign",
+                     table);
+
+  std::cout
+      << "Reading the table: against forged routing state (sinkhole, HELLO "
+         "flood) the unsecured network goes dark across whole sectors, while "
+         "SecMLR's TESLA-authenticated notifications and gateway-verified "
+         "paths keep the picture intact; replayed frames are rejected by "
+         "freshness counters instead of polluting the feed (§6.2).\n";
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Building HVAC monitoring — the scenario that started WMSNs: Sereiko's
+// proposal (the paper's ref [14]) of mesh-networked sensors letting
+// "building owners, managers, and contractors easily monitor HVAC
+// performance". Three floors, each a sensor subnet with two WMGs, meshed
+// over the building riser to a basement base station ("the Internet").
+//
+// Demonstrates the full three-tier WmsnStack API and its self-healing when
+// a riser router is unplugged.
+
+#include <iostream>
+
+#include "core/wmsn.hpp"
+#include "util/require.hpp"
+
+int main() {
+  using namespace wmsn;
+  std::cout << "Building HVAC WMSN — 3 floors x 40 sensors, 2 WMGs per "
+               "floor, riser mesh to the basement base station\n\n";
+
+  sim::Simulator simulator;
+  Rng rng(7);
+
+  // --- one sensor subnet per floor -------------------------------------------
+  std::vector<std::unique_ptr<net::SensorNetwork>> floors;
+  std::vector<std::unique_ptr<routing::ProtocolStack>> stacks;
+  std::vector<net::Point> wmgRiserPositions;
+
+  for (int floor = 0; floor < 3; ++floor) {
+    net::DeploymentParams dp;
+    dp.sensorCount = 40;
+    dp.gatewayCount = 2;
+    dp.width = 80;   // one floor plate
+    dp.height = 40;
+    dp.radioRange = 18;
+    net::Deployment d;
+    Rng layoutRng(10 + static_cast<std::uint64_t>(floor));
+    for (int attempt = 0;; ++attempt) {
+      d = net::uniformDeployment(dp, layoutRng);
+      if (net::sensorsConnected(d.sensors, dp.radioRange)) break;
+      WMSN_REQUIRE_MSG(attempt < 200, "no floor layout found");
+    }
+
+    net::SensorNetworkParams params;
+    params.seed = 77 + static_cast<std::uint64_t>(floor);
+    auto network = std::make_unique<net::SensorNetwork>(
+        simulator, std::make_unique<net::UnitDiskRadio>(dp.radioRange),
+        params);
+    routing::NetworkKnowledge knowledge;
+    knowledge.feasiblePlaces = d.gateways;
+    for (const auto& s : d.sensors) network->addSensor(s);
+    for (const auto& g : d.gateways)
+      knowledge.gatewayIds.push_back(network->addGateway(g));
+    auto stack = std::make_unique<routing::ProtocolStack>(
+        *network, knowledge,
+        [](net::SensorNetwork& n, net::NodeId id,
+           const routing::NetworkKnowledge& k) {
+          return std::make_unique<routing::MlrRouting>(n, id, k);
+        });
+    stack->startAll();
+
+    // Riser coordinates: floors stacked 150 "metres" apart in the backhaul
+    // plane (an abstraction of the riser topology).
+    for (const auto& g : d.gateways)
+      wmgRiserPositions.push_back({g.x + 100, 150.0 * floor + 100});
+
+    floors.push_back(std::move(network));
+    stacks.push_back(std::move(stack));
+  }
+
+  // --- the riser mesh ----------------------------------------------------------
+  mesh::MeshTopologyParams meshParams;
+  meshParams.wmrCount = 4;      // riser repeaters
+  meshParams.width = 300;
+  meshParams.height = 450;
+  meshParams.linkRange = 200;
+  auto topology = mesh::makeMeshTopology(meshParams, wmgRiserPositions, rng);
+  mesh::MeshNetwork riser(simulator, topology, {}, rng.fork());
+  mesh::WmsnStack building(riser);
+
+  std::size_t wmg = 0;
+  for (auto& floor : floors) {
+    std::map<net::NodeId, mesh::MeshNodeId> mapping;
+    for (net::NodeId gw : floor->gatewayIds())
+      mapping[gw] = static_cast<mesh::MeshNodeId>(wmg++);
+    building.attach(*floor, mapping);
+  }
+
+  // --- run a day of monitoring (compressed to 6 rounds) ------------------------
+  Rng traffic(3);
+  for (int round = 0; round < 6; ++round) {
+    for (std::size_t f = 0; f < floors.size(); ++f) {
+      stacks[f]->beginRound(static_cast<std::uint32_t>(round));
+      if (round == 0) {
+        for (std::size_t g = 0; g < floors[f]->gatewayIds().size(); ++g)
+          dynamic_cast<routing::MlrRouting&>(
+              stacks[f]->at(floors[f]->gatewayIds()[g]))
+              .announceMove(static_cast<std::uint16_t>(g), routing::kNoPlace,
+                            0);
+      }
+      for (net::NodeId s : floors[f]->sensorIds()) {
+        simulator.schedule(
+            sim::Time::seconds(3.0 + traffic.uniform(0.0, 14.0)),
+            [&stacks, f, s] {
+              stacks[f]->at(s).originate(Bytes(24, 0x20));  // temp+flow
+            });
+      }
+    }
+    if (round == 3) {
+      // A contractor unplugs a riser repeater mid-day.
+      const auto wmrs = topology.idsOf(mesh::MeshNodeKind::kWmr);
+      riser.setNodeAlive(wmrs[0], false);
+      std::cout << "(round 3: riser repeater " << wmrs[0]
+                << " unplugged — link-state reroute)\n";
+    }
+    simulator.runUntil(simulator.now() + sim::Time::seconds(20));
+  }
+
+  // --- the dashboard ------------------------------------------------------------
+  std::uint64_t generated = 0;
+  for (const auto& floor : floors) generated += floor->stats().generated();
+
+  TextTable dashboard({"metric", "value"});
+  dashboard.addRow({"readings generated", TextTable::num(generated)});
+  dashboard.addRow({"readings at floor WMGs",
+                    TextTable::num(building.readingsAtGateways())});
+  dashboard.addRow({"readings at base station",
+                    TextTable::num(building.readingsAtBase())});
+  dashboard.addRow(
+      {"end-to-end success",
+       TextTable::num(static_cast<double>(building.readingsAtBase()) /
+                          static_cast<double>(generated), 3)});
+  dashboard.addRow({"riser latency (mean ms)",
+                    TextTable::num(riser.latencyStats().count()
+                                       ? riser.latencyStats().mean() * 1e3
+                                       : 0.0, 3)});
+  dashboard.addRow({"riser frames dropped", TextTable::num(riser.dropped())});
+  core::printSection(std::cout, "building dashboard", dashboard);
+
+  std::cout << "Even with a repeater unplugged mid-run, the riser mesh "
+               "reroutes and the dashboard keeps filling — the architecture "
+               "Sereiko pitched to building managers (§2.1, ref [14]).\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Forest monitoring — the paper's running example for energy-constrained,
+// large-area sensing (§4.1 explicitly calls out forest monitoring as the
+// case where even the mesh gateways are energy-restricted).
+//
+// Scenario: 250 temperature/humidity sensors over a 400 m × 400 m forest
+// block, monitored by 4 battery-powered mobile gateways cycling between 8
+// feasible clearings. We run the network to first-node-death twice — with
+// static and with mobile gateways — to show how gateway mobility spreads
+// the relaying load and extends the monitoring mission.
+
+#include <iostream>
+
+#include "core/wmsn.hpp"
+
+namespace {
+
+wmsn::core::ScenarioConfig forestConfig(bool mobileGateways) {
+  wmsn::core::ScenarioConfig cfg;
+  cfg.protocol = wmsn::core::ProtocolKind::kMlr;
+  cfg.deployment = wmsn::core::DeploymentKind::kClustered;  // stands of trees
+  cfg.clusterCount = 5;
+  cfg.sensorCount = 250;
+  cfg.gatewayCount = 4;
+  cfg.feasiblePlaceCount = 8;
+  cfg.gatewaysMove = mobileGateways;
+  cfg.gatewaysBatteryLimited = true;  // §4.1: gateways are not mains-powered
+  cfg.width = 400;
+  cfg.height = 400;
+  cfg.radioRange = 60;  // long-range 802.15.4 amplified radios
+  cfg.rounds = 300;
+  cfg.stopAtFirstDeath = true;
+  cfg.packetsPerSensorPerRound = 2;  // one reading per ~10 s
+  cfg.energy.initialEnergyJ = 0.15;
+  cfg.seed = 2024;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wmsn;
+  std::cout << "Forest monitoring WMSN — 250 sensors / 400 m x 400 m, "
+               "4 battery-powered gateways over 8 clearings\n\n";
+
+  const auto staticRun = core::runScenario(forestConfig(false));
+  const auto mobileRun = core::runScenario(forestConfig(true));
+
+  core::printSection(
+      std::cout, "mission length (rounds until the first sensor dies)",
+      core::comparisonTable({staticRun, mobileRun},
+                            {"static gateways", "mobile gateways (MLR)"}));
+
+  auto report = [](const char* label, const core::RunResult& r) {
+    std::cout << label << ": lifetime "
+              << (r.firstDeathObserved ? r.firstDeathRound
+                                       : r.roundsCompleted)
+              << " rounds, hottest sensor spent "
+              << TextTable::num(r.sensorEnergy.maxJ * 1e3, 1)
+              << " mJ vs a mean of "
+              << TextTable::num(r.sensorEnergy.meanJ * 1e3, 1)
+              << " mJ (Jain "
+              << TextTable::num(r.sensorEnergy.jainFairness, 3) << ")\n";
+  };
+  report("static ", staticRun);
+  report("mobile ", mobileRun);
+
+  const double gain =
+      staticRun.firstDeathRound
+          ? static_cast<double>(mobileRun.firstDeathRound) /
+                static_cast<double>(staticRun.firstDeathRound)
+          : 0.0;
+  std::cout << "\nGateway mobility extended the mission by "
+            << TextTable::num((gain - 1.0) * 100.0, 0)
+            << "% — the relaying hot spots around each clearing rotate "
+               "instead of burning out (§5.3).\n";
+  return 0;
+}

@@ -1,0 +1,210 @@
+// wmsn_cli — a command-line front-end over the whole library: pick a
+// protocol, size, attack, and knobs; run; get the full result table.
+// The fifth "example", and the tool a downstream user scripts against.
+//
+//   ./wmsn_cli --protocol secmlr --sensors 150 --gateways 3 --rounds 10
+//   ./wmsn_cli --protocol mlr --attack sinkhole --attackers 3 --seed 7
+//   ./wmsn_cli --protocol mlr --sleep --lifetime
+//   ./wmsn_cli --list
+
+#include <cstring>
+#include <iostream>
+#include <map>
+
+#include "core/wmsn.hpp"
+
+namespace {
+
+using namespace wmsn;
+
+const std::map<std::string, core::ProtocolKind> kProtocols = {
+    {"flooding", core::ProtocolKind::kFlooding},
+    {"gossip", core::ProtocolKind::kGossip},
+    {"spin", core::ProtocolKind::kSpin},
+    {"diffusion", core::ProtocolKind::kDiffusion},
+    {"leach", core::ProtocolKind::kLeach},
+    {"pegasis", core::ProtocolKind::kPegasis},
+    {"teen", core::ProtocolKind::kTeen},
+    {"single-sink", core::ProtocolKind::kSingleSink},
+    {"spr", core::ProtocolKind::kSpr},
+    {"mlr", core::ProtocolKind::kMlr},
+    {"secmlr", core::ProtocolKind::kSecMlr},
+};
+
+const std::map<std::string, attacks::AttackKind> kAttacks = {
+    {"replay", attacks::AttackKind::kReplay},
+    {"spoof", attacks::AttackKind::kSpoofMove},
+    {"selective", attacks::AttackKind::kSelectiveForward},
+    {"sinkhole", attacks::AttackKind::kSinkhole},
+    {"hello-flood", attacks::AttackKind::kHelloFlood},
+    {"sybil", attacks::AttackKind::kSybil},
+    {"wormhole", attacks::AttackKind::kWormhole},
+    {"ack-spoof", attacks::AttackKind::kAckSpoof},
+};
+
+void usage() {
+  std::cout <<
+      "usage: wmsn_cli [options]\n"
+      "  --protocol <name>     flooding|gossip|spin|diffusion|leach|pegasis|teen|\n"
+      "                        single-sink|spr|mlr|secmlr   (default mlr)\n"
+      "  --sensors <n>         sensor count                 (default 100)\n"
+      "  --gateways <m>        gateway count                (default 3)\n"
+      "  --places <p>          feasible places |P|          (default 6)\n"
+      "  --area <metres>       square side                  (default 200)\n"
+      "  --range <metres>      radio range                  (default 30)\n"
+      "  --rounds <r>          rounds to run                (default 10)\n"
+      "  --packets <t>         packets/sensor/round         (default 2)\n"
+      "  --seed <s>            RNG seed                     (default 1)\n"
+      "  --deployment <kind>   uniform|grid|clustered       (default uniform)\n"
+      "  --static              gateways do not move\n"
+      "  --plan                §4.1 planner picks gateway places\n"
+      "  --sleep               §4.4 GAF sleep scheduling (MLR only)\n"
+      "  --reliable            hop-by-hop ACK forwarding (MLR family)\n"
+      "  --lossy               log-distance fringe radio\n"
+      "  --lifetime            run to first death (battery scaled down)\n"
+      "  --attack <name>       replay|spoof|selective|sinkhole|sybil|\n"
+      "                        hello-flood|wormhole|ack-spoof\n"
+      "  --attackers <k>       captured-sensor count        (default 3)\n"
+      "  --svg <path>          write the final topology/energy heat map\n"
+      "  --trace <path>        write a per-frame CSV event trace\n"
+      "  --list                print available protocols/attacks and exit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ScenarioConfig cfg;
+  cfg.rounds = 10;
+  cfg.packetsPerSensorPerRound = 2;
+  cfg.attackerCount = 3;
+  std::string svgPath;
+  std::string tracePath;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--list") {
+      std::cout << "protocols:";
+      for (const auto& [name, kind] : kProtocols) std::cout << " " << name;
+      std::cout << "\nattacks:";
+      for (const auto& [name, kind] : kAttacks) std::cout << " " << name;
+      std::cout << "\n";
+      return 0;
+    } else if (arg == "--protocol") {
+      const std::string name = next();
+      const auto it = kProtocols.find(name);
+      if (it == kProtocols.end()) {
+        std::cerr << "unknown protocol: " << name << "\n";
+        return 2;
+      }
+      cfg.protocol = it->second;
+    } else if (arg == "--attack") {
+      const std::string name = next();
+      const auto it = kAttacks.find(name);
+      if (it == kAttacks.end()) {
+        std::cerr << "unknown attack: " << name << "\n";
+        return 2;
+      }
+      cfg.attack.kind = it->second;
+    } else if (arg == "--deployment") {
+      const std::string name = next();
+      if (name == "uniform") cfg.deployment = core::DeploymentKind::kUniform;
+      else if (name == "grid") cfg.deployment = core::DeploymentKind::kGrid;
+      else if (name == "clustered")
+        cfg.deployment = core::DeploymentKind::kClustered;
+      else {
+        std::cerr << "unknown deployment: " << name << "\n";
+        return 2;
+      }
+    } else if (arg == "--sensors") {
+      cfg.sensorCount = std::stoul(next());
+    } else if (arg == "--gateways") {
+      cfg.gatewayCount = std::stoul(next());
+    } else if (arg == "--places") {
+      cfg.feasiblePlaceCount = std::stoul(next());
+    } else if (arg == "--area") {
+      cfg.width = cfg.height = std::stod(next());
+    } else if (arg == "--range") {
+      cfg.radioRange = std::stod(next());
+    } else if (arg == "--rounds") {
+      cfg.rounds = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--packets") {
+      cfg.packetsPerSensorPerRound =
+          static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--seed") {
+      cfg.seed = std::stoull(next());
+    } else if (arg == "--attackers") {
+      cfg.attackerCount = std::stoul(next());
+    } else if (arg == "--static") {
+      cfg.gatewaysMove = false;
+    } else if (arg == "--plan") {
+      cfg.planGatewayPlacement = true;
+    } else if (arg == "--sleep") {
+      cfg.sleep.enabled = true;
+    } else if (arg == "--reliable") {
+      cfg.mlr.reliableForwarding = true;
+    } else if (arg == "--lossy") {
+      cfg.lossyRadio = true;
+    } else if (arg == "--svg") {
+      svgPath = next();
+    } else if (arg == "--trace") {
+      tracePath = next();
+    } else if (arg == "--lifetime") {
+      cfg.stopAtFirstDeath = true;
+      cfg.rounds = 1000;
+      cfg.energy.initialEnergyJ = 0.1;
+    } else {
+      std::cerr << "unknown option: " << arg << " (try --help)\n";
+      return 2;
+    }
+  }
+
+  try {
+    cfg.validate();
+    auto scenario = core::buildScenario(cfg);
+    core::TraceLogger trace;
+    if (!tracePath.empty()) trace.attach(*scenario);
+    core::Experiment experiment(*scenario);
+    const auto result = experiment.run();
+    if (!svgPath.empty()) {
+      core::writeTopologySvg(*scenario, svgPath);
+      std::cout << "(topology SVG written to " << svgPath << ")\n";
+    }
+    if (!tracePath.empty()) {
+      trace.writeFile(tracePath);
+      std::cout << "(trace with " << trace.rows() << " events written to "
+                << tracePath << ")\n";
+    }
+    std::cout << core::summaryLine(result) << "\n\n";
+    core::printSection(std::cout, "result",
+                       core::comparisonTable({result}));
+    if (!result.perGatewayDeliveries.empty())
+      core::printSection(std::cout, "per-gateway load",
+                         core::gatewayLoadTable(result));
+    if (result.rejectedMacs + result.rejectedReplays + result.rejectedTesla >
+        0)
+      std::cout << "security rejections: mac=" << result.rejectedMacs
+                << " replay=" << result.rejectedReplays
+                << " tesla=" << result.rejectedTesla << "\n";
+    if (cfg.attack.kind != attacks::AttackKind::kNone)
+      std::cout << "attacker actions: dropped="
+                << result.attackerStats.framesDropped
+                << " forged=" << result.attackerStats.framesForged
+                << " replayed=" << result.attackerStats.framesReplayed
+                << " tunnelled=" << result.attackerStats.framesTunnelled
+                << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,440 @@
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <type_traits>
+
+#include "attacks/adversary.hpp"
+#include "util/require.hpp"
+
+namespace wmsn::attacks {
+
+/// Compromised insiders are honest protocol stacks (Base = MlrRouting or
+/// SecMlrRouting) with malicious overrides — they blend into the network,
+/// which is exactly the node-capture threat model of §6.1.
+
+// ---------------------------------------------------------------------------
+// Selective forwarding ("grey hole")
+// ---------------------------------------------------------------------------
+
+template <class Base>
+class SelectiveForwarder final : public Base, public AttackerIntrospection {
+ public:
+  template <class... Args>
+  SelectiveForwarder(double dropProbability, Args&&... args)
+      : Base(std::forward<Args>(args)...), dropProbability_(dropProbability) {}
+
+  void onReceive(const net::Packet& packet, net::NodeId from) override {
+    if (packet.kind == net::PacketKind::kData &&
+        packet.hopDst == this->self() &&
+        this->rng().chance(dropProbability_)) {
+      ++stats_.framesDropped;  // participates in routing, swallows data
+      return;
+    }
+    Base::onReceive(packet, from);
+  }
+
+  AttackerStats attackerStats() const override { return stats_; }
+
+ private:
+  double dropProbability_;
+  AttackerStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+template <class Base>
+class ReplayAttacker final : public Base, public AttackerIntrospection {
+ public:
+  template <class... Args>
+  ReplayAttacker(sim::Time replayDelay, std::size_t copies, Args&&... args)
+      : Base(std::forward<Args>(args)...),
+        replayDelay_(replayDelay),
+        copies_(copies) {}
+
+  void start() override {
+    Base::start();
+    scheduleReplay();
+  }
+
+  void onReceive(const net::Packet& packet, net::NodeId from) override {
+    // Promiscuous capture of any data frame in range.
+    if (packet.kind == net::PacketKind::kData && packet.hopSrc != this->self()) {
+      if (captured_.size() >= kCaptureLimit) captured_.pop_front();
+      captured_.push_back(packet);
+    }
+    // Frames not addressed to us were only eavesdropped.
+    if (packet.hopDst != net::kBroadcastId && packet.hopDst != this->self())
+      return;
+    Base::onReceive(packet, from);
+  }
+
+  AttackerStats attackerStats() const override { return stats_; }
+
+ private:
+  static constexpr std::size_t kCaptureLimit = 128;
+
+  void scheduleReplay() {
+    this->scheduleAfter(replayDelay_, [this] {
+      if (!captured_.empty()) {
+        for (std::size_t i = 0; i < copies_; ++i) {
+          net::Packet copy =
+              captured_[this->rng().index(captured_.size())];
+          // Re-inject verbatim: same uid, same counter, same MAC — exactly
+          // what a replay looks like on the air.
+          copy.hopSrc = this->self();
+          this->network().sendFrom(this->self(), std::move(copy));
+          ++stats_.framesReplayed;
+        }
+      }
+      scheduleReplay();
+    });
+  }
+
+  sim::Time replayDelay_;
+  std::size_t copies_;
+  std::deque<net::Packet> captured_;
+  AttackerStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Spoofed routing information (forged gateway-move notifications)
+// ---------------------------------------------------------------------------
+
+template <class Base>
+class MoveSpoofer final : public Base, public AttackerIntrospection {
+ public:
+  template <class... Args>
+  explicit MoveSpoofer(Args&&... args) : Base(std::forward<Args>(args)...) {}
+
+  void onRoundStart(std::uint32_t round) override {
+    Base::onRoundStart(round);
+    // Give honest floods a moment to establish the real occupancy first.
+    this->scheduleAfter(sim::Time::seconds(0.5),
+                        [this, round] { forge(round); });
+  }
+
+  void onReceive(const net::Packet& packet, net::NodeId from) override {
+    if (packet.kind == net::PacketKind::kData &&
+        packet.hopDst == this->self()) {
+      ++stats_.framesDropped;  // traffic attracted by the forgery dies here
+      return;
+    }
+    Base::onReceive(packet, from);
+  }
+
+  AttackerStats attackerStats() const override { return stats_; }
+
+ private:
+  void forge(std::uint32_t round) {
+    if (this->occupancy().empty()) return;
+    const auto [realPlace, gateway] = *this->occupancy().begin();
+    // Claim the gateway moved to a free place "next to" the attacker: the
+    // forged flood rebuilds the BFS field with the attacker at its root.
+    std::uint16_t bogus = 0;
+    for (std::size_t p = 0; p < this->knowledge().feasiblePlaces.size(); ++p) {
+      if (!this->occupancy().contains(static_cast<std::uint16_t>(p))) {
+        bogus = static_cast<std::uint16_t>(p);
+        break;
+      }
+    }
+    routing::GatewayMoveMsg msg;
+    msg.gateway = gateway;
+    msg.newPlace = bogus;
+    msg.prevPlace = realPlace;
+    msg.round = round;
+    msg.hopCount = 0;
+
+    if constexpr (std::is_same_v<Base, routing::SecMlrRouting>) {
+      // Against SecMLR the spoofer cannot produce a valid TESLA MAC — it
+      // sends a forged SecMoveMsg with a random tag and hopes nobody checks.
+      routing::SecMoveMsg wire;
+      wire.gateway = gateway;
+      wire.teslaPayload = msg.encode();
+      wire.interval = currentInterval();
+      for (auto& b : wire.mac)
+        b = static_cast<std::uint8_t>(this->rng().next());
+      wire.hopCount = 0;
+      this->sendBroadcast(this->makePacket(net::PacketKind::kGatewayMove,
+                                           net::kBroadcastId, wire.encode()));
+    } else {
+      this->sendBroadcast(this->makePacket(net::PacketKind::kGatewayMove,
+                                           net::kBroadcastId, msg.encode()));
+    }
+    ++stats_.framesForged;
+  }
+
+  std::uint32_t currentInterval() const {
+    return static_cast<std::uint32_t>(this->now().us / 1'000'000) + 1;
+  }
+
+  AttackerStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Sinkhole
+// ---------------------------------------------------------------------------
+
+template <class Base>
+class SinkholeAttacker final : public Base, public AttackerIntrospection {
+ public:
+  template <class... Args>
+  explicit SinkholeAttacker(Args&&... args)
+      : Base(std::forward<Args>(args)...) {}
+
+  void onReceive(const net::Packet& packet, net::NodeId from) override {
+    switch (packet.kind) {
+      case net::PacketKind::kGatewayMove: {
+        // Re-advertise the flood claiming zero distance to the place — the
+        // classic sinkhole lure. (Works on SecMLR's flood too: the hop
+        // counter is mutable metadata outside the TESLA MAC.)
+        net::Packet lure = packet;
+        if constexpr (std::is_same_v<Base, routing::SecMlrRouting>) {
+          auto msg = routing::SecMoveMsg::decode(packet.payload);
+          msg.hopCount = 0;
+          lure.payload = msg.encode();
+        } else {
+          auto msg = routing::GatewayMoveMsg::decode(packet.payload);
+          msg.hopCount = 0;
+          lure.payload = msg.encode();
+        }
+        ++stats_.framesForged;
+        this->sendBroadcast(std::move(lure));
+        // Also process honestly so the attacker keeps a plausible table.
+        Base::onReceive(packet, from);
+        return;
+      }
+      case net::PacketKind::kRreq: {
+        if constexpr (std::is_same_v<Base, routing::SecMlrRouting>) {
+          // Truncate the accumulated path: claim the source is one hop
+          // away. The gateway will prefer this "short" path — but the
+          // response then has to traverse the fabricated adjacency, which
+          // usually does not physically exist.
+          try {
+            auto msg = routing::SecRreqMsg::decode(packet.payload);
+            if (msg.source != this->self() &&
+                std::find(msg.path.begin(), msg.path.end(),
+                          static_cast<std::uint16_t>(this->self())) ==
+                    msg.path.end()) {
+              msg.path.assign({msg.source,
+                               static_cast<std::uint16_t>(this->self())});
+              ++stats_.framesForged;
+              this->sendBroadcast(this->makePacket(
+                  net::PacketKind::kRreq, net::kBroadcastId, msg.encode()));
+              return;
+            }
+          } catch (const PreconditionError&) {
+          }
+        }
+        Base::onReceive(packet, from);
+        return;
+      }
+      case net::PacketKind::kData:
+        if (packet.hopDst == this->self()) {
+          ++stats_.framesDropped;  // the sinkhole swallows what it attracts
+          return;
+        }
+        Base::onReceive(packet, from);
+        return;
+      default:
+        Base::onReceive(packet, from);
+        return;
+    }
+  }
+
+  AttackerStats attackerStats() const override { return stats_; }
+
+ private:
+  AttackerStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// HELLO flood (laptop-class long-range transmitter)
+// ---------------------------------------------------------------------------
+
+template <class Base>
+class HelloFlooder final : public Base, public AttackerIntrospection {
+ public:
+  template <class... Args>
+  explicit HelloFlooder(Args&&... args) : Base(std::forward<Args>(args)...) {}
+
+  void onRoundStart(std::uint32_t round) override {
+    Base::onRoundStart(round);
+    this->scheduleAfter(sim::Time::seconds(0.6),
+                        [this, round] { flood(round); });
+  }
+
+  void onReceive(const net::Packet& packet, net::NodeId from) override {
+    if (packet.kind == net::PacketKind::kData &&
+        packet.hopDst == this->self()) {
+      ++stats_.framesDropped;
+      return;
+    }
+    Base::onReceive(packet, from);
+  }
+
+  AttackerStats attackerStats() const override { return stats_; }
+
+ private:
+  void flood(std::uint32_t round) {
+    // For every occupied place, blast a hop-count-0 notification to every
+    // sensor in the network with the high-power radio: distant victims
+    // adopt the attacker as next hop, but their own low-power replies can
+    // never reach it — data vanishes into the asymmetric link.
+    for (const auto& [place, gateway] : this->occupancy()) {
+      routing::GatewayMoveMsg msg;
+      msg.gateway = gateway;
+      msg.newPlace = place;
+      msg.prevPlace = routing::kNoPlace;
+      msg.round = round;
+      msg.hopCount = 0;
+
+      net::Packet pkt;
+      if constexpr (std::is_same_v<Base, routing::SecMlrRouting>) {
+        routing::SecMoveMsg wire;
+        wire.gateway = gateway;
+        wire.teslaPayload = msg.encode();
+        wire.interval =
+            static_cast<std::uint32_t>(this->now().us / 1'000'000) + 1;
+        for (auto& b : wire.mac)
+          b = static_cast<std::uint8_t>(this->rng().next());
+        wire.hopCount = 0;
+        pkt = this->makePacket(net::PacketKind::kGatewayMove,
+                               net::kBroadcastId, wire.encode());
+      } else {
+        pkt = this->makePacket(net::PacketKind::kGatewayMove,
+                               net::kBroadcastId, msg.encode());
+      }
+
+      for (net::NodeId target : this->network().sensorIds()) {
+        if (target == this->self() || !this->network().node(target).alive())
+          continue;
+        net::Packet copy = pkt;
+        copy.uid = 0;  // fresh uid per long-haul frame
+        this->network().sendLongRangeFrom(this->self(), target,
+                                          std::move(copy));
+        ++stats_.framesForged;
+      }
+    }
+  }
+
+  AttackerStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Sybil (fake gateway identities)
+// ---------------------------------------------------------------------------
+
+template <class Base>
+class SybilAttacker final : public Base, public AttackerIntrospection {
+ public:
+  template <class... Args>
+  SybilAttacker(std::uint32_t fakeIdentities, Args&&... args)
+      : Base(std::forward<Args>(args)...), fakeIdentities_(fakeIdentities) {}
+
+  void onRoundStart(std::uint32_t round) override {
+    Base::onRoundStart(round);
+    this->scheduleAfter(sim::Time::seconds(0.7),
+                        [this, round] { fabricate(round); });
+  }
+
+  void onReceive(const net::Packet& packet, net::NodeId from) override {
+    if (packet.kind == net::PacketKind::kData &&
+        packet.hopDst == this->self()) {
+      ++stats_.framesDropped;
+      return;
+    }
+    Base::onReceive(packet, from);
+  }
+
+  AttackerStats attackerStats() const override { return stats_; }
+
+ private:
+  void fabricate(std::uint32_t round) {
+    // Claim `fakeIdentities_` brand-new gateways, each occupying a free
+    // feasible place, each zero hops from the attacker. MLR victims add
+    // them as routing candidates; SecMLR victims find no TESLA commitment
+    // for the unknown ids and reject.
+    std::uint32_t made = 0;
+    for (std::size_t p = 0;
+         p < this->knowledge().feasiblePlaces.size() &&
+         made < fakeIdentities_;
+         ++p) {
+      const auto place = static_cast<std::uint16_t>(p);
+      if (this->occupancy().contains(place)) continue;
+      routing::GatewayMoveMsg msg;
+      msg.gateway = static_cast<std::uint16_t>(0x8000 + made);  // fake id
+      msg.newPlace = place;
+      msg.prevPlace = routing::kNoPlace;
+      msg.round = round;
+      msg.hopCount = 0;
+      ++made;
+      ++stats_.framesForged;
+
+      if constexpr (std::is_same_v<Base, routing::SecMlrRouting>) {
+        routing::SecMoveMsg wire;
+        wire.gateway = msg.gateway;
+        wire.teslaPayload = msg.encode();
+        wire.interval =
+            static_cast<std::uint32_t>(this->now().us / 1'000'000) + 1;
+        for (auto& b : wire.mac)
+          b = static_cast<std::uint8_t>(this->rng().next());
+        wire.hopCount = 0;
+        this->sendBroadcast(this->makePacket(net::PacketKind::kGatewayMove,
+                                             net::kBroadcastId,
+                                             wire.encode()));
+      } else {
+        this->sendBroadcast(this->makePacket(net::PacketKind::kGatewayMove,
+                                             net::kBroadcastId,
+                                             msg.encode()));
+      }
+    }
+  }
+
+  std::uint32_t fakeIdentities_;
+  AttackerStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// ACK spoofing
+// ---------------------------------------------------------------------------
+
+template <class Base>
+class AckSpoofAttacker final : public Base, public AttackerIntrospection {
+ public:
+  template <class... Args>
+  explicit AckSpoofAttacker(Args&&... args)
+      : Base(std::forward<Args>(args)...) {}
+
+  void onReceive(const net::Packet& packet, net::NodeId from) override {
+    // Overhears (promiscuous) data sent to a node that is dead and forges
+    // the link-layer ACK on its behalf — the sender keeps believing in the
+    // dead route instead of invalidating it (§2.3 "acknowledgment
+    // spoofing"; needs MLR's reliable-forwarding mode to matter).
+    if (packet.kind == net::PacketKind::kData &&
+        packet.hopDst != net::kBroadcastId &&
+        packet.hopDst != this->self() &&
+        packet.hopDst < this->network().size() &&
+        !this->network().node(packet.hopDst).alive()) {
+      routing::AckMsg ack;
+      ack.uid = packet.uid;
+      ++stats_.framesForged;
+      this->sendUnicast(packet.hopSrc,
+                        this->makePacket(net::PacketKind::kAck, packet.hopSrc,
+                                         ack.encode()));
+      return;
+    }
+    if (packet.hopDst != net::kBroadcastId && packet.hopDst != this->self())
+      return;  // other promiscuous traffic: just eavesdropping
+    Base::onReceive(packet, from);
+  }
+
+  AttackerStats attackerStats() const override { return stats_; }
+
+ private:
+  AttackerStats stats_;
+};
+
+}  // namespace wmsn::attacks

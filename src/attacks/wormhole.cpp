@@ -1,0 +1,48 @@
+#include "attacks/wormhole.hpp"
+
+#include "util/require.hpp"
+
+namespace wmsn::attacks {
+
+WormholeTunnel::WormholeTunnel(net::SensorNetwork& network,
+                               net::NodeId endpointA, net::NodeId endpointB,
+                               bool dropData)
+    : network_(network), a_(endpointA), b_(endpointB), dropData_(dropData) {
+  WMSN_REQUIRE(endpointA != endpointB);
+}
+
+net::NodeId WormholeTunnel::peerOf(net::NodeId endpoint) const {
+  WMSN_REQUIRE(endpoint == a_ || endpoint == b_);
+  return endpoint == a_ ? b_ : a_;
+}
+
+bool WormholeTunnel::offer(net::NodeId hearingEndpoint,
+                           const net::Packet& packet) {
+  // Never tunnel what the tunnel itself emitted (loop guard), and only
+  // tunnel each frame once.
+  if (packet.hopSrc == a_ || packet.hopSrc == b_) return false;
+  if (packet.uid != 0 && !tunnelled_.insert(packet.uid).second) return false;
+
+  if (dropData_ && packet.kind == net::PacketKind::kData) {
+    // Control traffic tunnels through (building the lure); data attracted
+    // across the fabricated adjacency is silently discarded.
+    if (packet.hopDst == hearingEndpoint ||
+        packet.hopDst == net::kBroadcastId) {
+      // Broadcast data still re-emits below to keep the lure credible for
+      // flooding protocols; unicast data addressed to an endpoint dies.
+      if (packet.hopDst == hearingEndpoint) {
+        ++stats_.framesDropped;
+        return true;
+      }
+    }
+  }
+
+  const net::NodeId far = peerOf(hearingEndpoint);
+  if (!network_.node(far).alive()) return false;
+  net::Packet copy = packet;
+  ++stats_.framesTunnelled;
+  network_.sendFrom(far, std::move(copy));
+  return false;
+}
+
+}  // namespace wmsn::attacks

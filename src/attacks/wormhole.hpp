@@ -1,0 +1,59 @@
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "attacks/adversary.hpp"
+
+namespace wmsn::attacks {
+
+/// The colluders' out-of-band channel. Frames heard at one endpoint are
+/// re-emitted verbatim at the other, fabricating a one-hop adjacency across
+/// the network — routing floods tunnel through and pull traffic toward the
+/// endpoints. The tunnel itself is modelled as free (a wired/directional
+/// link invisible to the sensor medium); re-emission pays normal radio cost
+/// at the far endpoint.
+class WormholeTunnel {
+ public:
+  WormholeTunnel(net::SensorNetwork& network, net::NodeId endpointA,
+                 net::NodeId endpointB, bool dropData);
+
+  net::NodeId peerOf(net::NodeId endpoint) const;
+
+  /// Called by an endpoint that overheard `packet`. Returns true if the
+  /// frame was swallowed by the tunnel's data-drop policy (the caller must
+  /// not process it further).
+  bool offer(net::NodeId hearingEndpoint, const net::Packet& packet);
+
+  const AttackerStats& stats() const { return stats_; }
+
+ private:
+  net::SensorNetwork& network_;
+  net::NodeId a_;
+  net::NodeId b_;
+  bool dropData_;
+  std::unordered_set<std::uint64_t> tunnelled_;  ///< uid dedupe (loop guard)
+  AttackerStats stats_;
+};
+
+template <class Base>
+class WormholeEndpoint final : public Base, public AttackerIntrospection {
+ public:
+  template <class... Args>
+  WormholeEndpoint(std::shared_ptr<WormholeTunnel> tunnel, Args&&... args)
+      : Base(std::forward<Args>(args)...), tunnel_(std::move(tunnel)) {}
+
+  void onReceive(const net::Packet& packet, net::NodeId from) override {
+    if (tunnel_->offer(this->self(), packet)) return;  // swallowed
+    if (packet.hopDst != net::kBroadcastId && packet.hopDst != this->self())
+      return;  // promiscuous eavesdrop only
+    Base::onReceive(packet, from);
+  }
+
+  AttackerStats attackerStats() const override { return tunnel_->stats(); }
+
+ private:
+  std::shared_ptr<WormholeTunnel> tunnel_;
+};
+
+}  // namespace wmsn::attacks

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "net/deployment.hpp"
+#include "net/mobility.hpp"
+#include "routing/protocol.hpp"
+
+namespace wmsn::core {
+
+/// One fully-wired scenario: simulator, sensor network, per-node protocol
+/// stack, gateway mobility schedule, and the feasible-place map. Owned as a
+/// unit; drive it with core::Experiment.
+struct Scenario {
+  ScenarioConfig config;
+  sim::Simulator simulator;
+  std::vector<net::Point> feasiblePlaces;
+  std::unique_ptr<net::SensorNetwork> network;
+  std::unique_ptr<routing::ProtocolStack> stack;
+  std::unique_ptr<net::GatewaySchedule> schedule;
+
+  Scenario() = default;
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+};
+
+/// Builds a connected scenario from the config (retrying deployments until
+/// every sensor can reach a gateway), instantiates the chosen protocol on
+/// every node, and installs the configured attack, if any.
+std::unique_ptr<Scenario> buildScenario(const ScenarioConfig& config);
+
+/// Builds a scenario from explicit positions (the paper's worked examples —
+/// Fig. 2, Table 1 — use exact layouts). `gatewayPlaceOrdinals` selects
+/// which feasible places the gateways initially occupy.
+std::unique_ptr<Scenario> buildScenarioAt(
+    const ScenarioConfig& config, std::vector<net::Point> sensorPositions,
+    std::vector<net::Point> feasiblePlaces,
+    std::vector<std::size_t> gatewayPlaceOrdinals,
+    std::unique_ptr<net::GatewaySchedule> schedule = nullptr);
+
+}  // namespace wmsn::core

@@ -1,0 +1,59 @@
+#include "core/config.hpp"
+
+#include "util/require.hpp"
+
+namespace wmsn::core {
+
+std::string toString(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kFlooding: return "flooding";
+    case ProtocolKind::kGossip: return "gossip";
+    case ProtocolKind::kSpin: return "spin";
+    case ProtocolKind::kDiffusion: return "diffusion";
+    case ProtocolKind::kLeach: return "leach";
+    case ProtocolKind::kPegasis: return "pegasis";
+    case ProtocolKind::kTeen: return "teen";
+    case ProtocolKind::kSingleSink: return "single-sink";
+    case ProtocolKind::kSpr: return "spr";
+    case ProtocolKind::kMlr: return "mlr";
+    case ProtocolKind::kSecMlr: return "secmlr";
+  }
+  return "unknown";
+}
+
+std::string toString(DeploymentKind kind) {
+  switch (kind) {
+    case DeploymentKind::kUniform: return "uniform";
+    case DeploymentKind::kGrid: return "grid";
+    case DeploymentKind::kClustered: return "clustered";
+  }
+  return "unknown";
+}
+
+void ScenarioConfig::validate() const {
+  WMSN_REQUIRE_MSG(sensorCount >= 1, "sensorCount");
+  WMSN_REQUIRE_MSG(gatewayCount >= 1, "gatewayCount");
+  WMSN_REQUIRE_MSG(feasiblePlaceCount >= gatewayCount,
+                   "feasiblePlaceCount must be >= gatewayCount (|P| >= m)");
+  WMSN_REQUIRE_MSG(width > 0.0 && height > 0.0, "area");
+  WMSN_REQUIRE_MSG(radioRange > 0.0, "radioRange");
+  WMSN_REQUIRE_MSG(rounds >= 1, "rounds");
+  WMSN_REQUIRE_MSG(roundDuration.us > 0, "roundDuration");
+  WMSN_REQUIRE_MSG(trafficStart < roundDuration,
+                   "trafficStart must fall inside the round");
+  for (const GatewayFailure& f : failures)
+    WMSN_REQUIRE_MSG(f.gatewayOrdinal < gatewayCount, "failure ordinal");
+  if (attack.kind == attacks::AttackKind::kWormhole)
+    WMSN_REQUIRE_MSG(attackerCount == 2 || attack.attackers.size() == 2,
+                     "wormhole needs exactly 2 attackers");
+  if (attack.kind != attacks::AttackKind::kNone)
+    WMSN_REQUIRE_MSG(protocol == ProtocolKind::kMlr ||
+                         protocol == ProtocolKind::kSecMlr,
+                     "attacks target MLR/SecMLR networks");
+  if (sleep.enabled)
+    WMSN_REQUIRE_MSG(protocol == ProtocolKind::kMlr,
+                     "sleep scheduling requires MLR's delegation support "
+                     "(a sleeping SecMLR node cannot hold secure sessions)");
+}
+
+}  // namespace wmsn::core

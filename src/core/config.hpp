@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attacks/adversary.hpp"
+#include "core/topology_control.hpp"
+#include "net/energy.hpp"
+#include "net/medium.hpp"
+#include "net/sensor_network.hpp"
+#include "routing/flooding.hpp"
+#include "routing/leach.hpp"
+#include "routing/diffusion.hpp"
+#include "routing/pegasis.hpp"
+#include "routing/spin.hpp"
+#include "routing/teen.hpp"
+#include "routing/mlr.hpp"
+#include "routing/secmlr.hpp"
+#include "routing/single_sink.hpp"
+#include "routing/spr.hpp"
+
+namespace wmsn::core {
+
+enum class ProtocolKind : std::uint8_t {
+  kFlooding,
+  kGossip,
+  kSpin,
+  kDiffusion,
+  kLeach,
+  kPegasis,
+  kTeen,
+  kSingleSink,
+  kSpr,
+  kMlr,
+  kSecMlr,
+};
+
+std::string toString(ProtocolKind kind);
+
+enum class DeploymentKind : std::uint8_t { kUniform, kGrid, kClustered };
+
+std::string toString(DeploymentKind kind);
+
+/// A scheduled gateway failure (ROBUST experiment fault injection).
+struct GatewayFailure {
+  std::uint32_t round = 0;
+  std::size_t gatewayOrdinal = 0;  ///< index into the gateway list
+};
+
+/// A localised traffic burst (§4.2's "a forest fire occurs" scenario):
+/// sensors within `radius` of a feasible place send extra packets from
+/// `startRound` on — the §4.3 load-balance stressor.
+struct HotspotConfig {
+  bool enabled = false;
+  std::size_t placeOrdinal = 0;  ///< burst centre = feasiblePlaces[ordinal]
+  double radius = 60.0;
+  std::uint32_t extraPacketsPerSensor = 6;
+  std::uint32_t startRound = 1;
+};
+
+/// Everything needed to build and run one simulated scenario. Every field
+/// has a sane default so examples stay short; benches override what they
+/// sweep.
+struct ScenarioConfig {
+  // --- topology -------------------------------------------------------------
+  DeploymentKind deployment = DeploymentKind::kUniform;
+  std::size_t sensorCount = 100;
+  std::size_t gatewayCount = 3;      ///< m
+  std::size_t feasiblePlaceCount = 6;///< |P| (MLR, §5.3)
+  std::size_t clusterCount = 4;      ///< for kClustered
+  double width = 200.0;
+  double height = 200.0;
+  double radioRange = 30.0;
+  bool lossyRadio = false;           ///< LogDistance fringe instead of disk
+
+  // --- protocol ---------------------------------------------------------------
+  ProtocolKind protocol = ProtocolKind::kMlr;
+  routing::FloodingParams flooding;
+  routing::SpinParams spin;
+  routing::DiffusionParams diffusion;
+  routing::LeachParams leach;
+  routing::PegasisParams pegasis;
+  routing::TeenParams teen;
+  routing::SingleSinkParams singleSink;
+  routing::SprParams spr;
+  routing::MlrParams mlr;
+  routing::SecMlrConfig secmlr;
+
+  // --- traffic & rounds --------------------------------------------------------
+  std::uint32_t rounds = 10;
+  sim::Time roundDuration = sim::Time::seconds(20.0);
+  std::uint32_t packetsPerSensorPerRound = 1;  ///< T in eq. (3)
+  std::size_t readingBytes = 24;
+  /// Offset into each round before application traffic starts (discovery
+  /// floods and TESLA disclosures need to settle first).
+  sim::Time trafficStart = sim::Time::seconds(4.0);
+  /// Extra simulated time after the last round so in-flight frames land.
+  sim::Time drainGrace = sim::Time::seconds(2.0);
+
+  // --- physical layer -----------------------------------------------------------
+  net::EnergyParams energy;
+  net::MediumParams medium;
+  net::MacKind mac = net::MacKind::kCsma;
+  bool gatewaysBatteryLimited = false;
+
+  // --- gateway mobility ------------------------------------------------------------
+  bool gatewaysMove = true;  ///< rotating-random schedule over |P| places
+  /// §4.1 deployment model: choose the initial gateway places with the
+  /// greedy hop-cost planner (core/placement.hpp) instead of the first m
+  /// feasible places. Implies a static schedule (planned positions stay).
+  bool planGatewayPlacement = false;
+
+  // --- traffic shaping & topology control ----------------------------------------------
+  HotspotConfig hotspot;
+  SleepParams sleep;  ///< §4.4 GAF-style duty cycling
+
+  // --- fault & attack injection ------------------------------------------------------
+  std::vector<GatewayFailure> failures;
+  attacks::AttackPlan attack;
+  std::size_t attackerCount = 0;  ///< auto-picks sensors if attack.attackers empty
+
+  // --- run control ---------------------------------------------------------------------
+  bool stopAtFirstDeath = false;  ///< lifetime mode: run until a sensor dies
+  std::uint64_t seed = 1;
+
+  /// Cross-field sanity checks; throws PreconditionError with a message
+  /// naming the offending field.
+  void validate() const;
+};
+
+}  // namespace wmsn::core

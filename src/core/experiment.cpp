@@ -1,0 +1,203 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "routing/mlr.hpp"
+#include "routing/secmlr.hpp"
+#include "util/require.hpp"
+
+namespace wmsn::core {
+
+Experiment::Experiment(Scenario& scenario)
+    : scenario_(scenario), trafficRng_(scenario.config.seed ^ 0x7aff1c) {}
+
+void Experiment::beginRound(std::uint32_t round) {
+  Scenario& s = scenario_;
+  const ScenarioConfig& cfg = s.config;
+
+  // Scheduled gateway failures (fault injection) happen at the boundary.
+  for (const GatewayFailure& f : cfg.failures) {
+    if (f.round != round) continue;
+    const net::NodeId gw = s.network->gatewayIds().at(f.gatewayOrdinal);
+    s.network->node(gw).kill(s.simulator.now());
+  }
+
+  // §4.4 sleep scheduling: at epoch boundaries rotate the awake set and
+  // force a full route rebuild over the new relay topology.
+  bool sleepEpoch = false;
+  if (cfg.sleep.enabled && round % std::max(1u, cfg.sleep.epochRounds) == 0) {
+    const SleepAssignment assignment =
+        applySleepSchedule(*s.network, cfg.radioRange);
+    s.stack->topologyChangedAll();
+    // Wire delegation: sleepers hand readings to their cell leader.
+    for (net::NodeId sensor : s.network->sensorIds()) {
+      if (auto* mlr =
+              dynamic_cast<routing::MlrRouting*>(&s.stack->at(sensor)))
+        mlr->setUplinkDelegate(std::nullopt);
+    }
+    for (const auto& [sleeper, leader] : assignment.delegations) {
+      if (auto* mlr =
+              dynamic_cast<routing::MlrRouting*>(&s.stack->at(sleeper)))
+        mlr->setUplinkDelegate(leader);
+    }
+    sleepEpoch = true;
+  }
+
+  s.stack->beginRound(round);
+
+  const bool placeBased = cfg.protocol == ProtocolKind::kMlr ||
+                          cfg.protocol == ProtocolKind::kSecMlr;
+
+  // Reposition gateways per the mobility schedule and let moved ones
+  // announce (§5.3: "moved gateways notify all sensor nodes ... unmoved
+  // gateways do not need to issue such a notification"). Round 0's initial
+  // placement is announced by everyone. The rebuild ablation re-announces
+  // everything each round.
+  std::vector<std::size_t> announcers;
+  if (round == 0) {
+    for (std::size_t g = 0; g < s.network->gatewayIds().size(); ++g)
+      announcers.push_back(g);
+  } else {
+    announcers = s.schedule->movedGateways(round);
+    if (placeBased && (cfg.mlr.rebuildEveryRound || sleepEpoch)) {
+      announcers.clear();
+      for (std::size_t g = 0; g < s.network->gatewayIds().size(); ++g)
+        announcers.push_back(g);
+    }
+  }
+
+  for (std::size_t g = 0; g < s.network->gatewayIds().size(); ++g) {
+    const net::NodeId gwId = s.network->gatewayIds()[g];
+    const std::size_t place = s.schedule->placeOf(g, round);
+    s.network->setGatewayPosition(gwId, s.feasiblePlaces.at(place));
+  }
+
+  if (placeBased) {
+    for (std::size_t g : announcers) {
+      const net::NodeId gwId = s.network->gatewayIds()[g];
+      if (!s.network->node(gwId).alive()) continue;
+      const std::uint16_t newPlace =
+          static_cast<std::uint16_t>(s.schedule->placeOf(g, round));
+      std::uint16_t prevPlace = routing::kNoPlace;
+      if (round > 0) {
+        const std::size_t prev = s.schedule->placeOf(g, round - 1);
+        if (prev != newPlace)
+          prevPlace = static_cast<std::uint16_t>(prev);
+      }
+      auto* mlr = dynamic_cast<routing::MlrRouting*>(&s.stack->at(gwId));
+      WMSN_REQUIRE_MSG(mlr != nullptr,
+                       "place-based protocol expected on gateways");
+      mlr->announceMove(newPlace, prevPlace, round);
+    }
+  }
+}
+
+void Experiment::scheduleTraffic(std::uint32_t round, sim::Time roundStart) {
+  Scenario& s = scenario_;
+  const ScenarioConfig& cfg = s.config;
+  const double windowSeconds =
+      (cfg.roundDuration - cfg.trafficStart).seconds() * 0.9;
+
+  for (net::NodeId sensor : s.network->sensorIds()) {
+    std::uint32_t packets = cfg.packetsPerSensorPerRound;
+    // §4.2's burst scenario ("a forest fire occurs"): sensors near the
+    // hotspot report much more often.
+    if (cfg.hotspot.enabled && round >= cfg.hotspot.startRound) {
+      const net::Point centre =
+          s.feasiblePlaces.at(cfg.hotspot.placeOrdinal);
+      if (net::distance(s.network->node(sensor).position(), centre) <=
+          cfg.hotspot.radius)
+        packets += cfg.hotspot.extraPacketsPerSensor;
+    }
+    for (std::uint32_t k = 0; k < packets; ++k) {
+      const sim::Time at =
+          roundStart + cfg.trafficStart +
+          sim::Time::seconds(trafficRng_.uniform(0.0, windowSeconds));
+      s.simulator.scheduleAt(at, [&s, sensor, bytes = cfg.readingBytes] {
+        if (!s.network->node(sensor).alive()) return;
+        s.stack->at(sensor).originate(Bytes(bytes, 0xab));
+      });
+    }
+  }
+}
+
+RunResult Experiment::run() {
+  Scenario& s = scenario_;
+  const ScenarioConfig& cfg = s.config;
+
+  s.stack->startAll();
+
+  std::uint32_t completed = 0;
+  for (std::uint32_t round = 0; round < cfg.rounds; ++round) {
+    const sim::Time roundStart = s.simulator.now();
+    beginRound(round);
+    scheduleTraffic(round, roundStart);
+    s.simulator.runUntil(roundStart + cfg.roundDuration);
+    completed = round + 1;
+    if (observer_) observer_(round);
+    if (cfg.stopAtFirstDeath && s.network->firstSensorDeathTime()) break;
+  }
+  // Drain grace: let the final round's in-flight frames land (aggregation
+  // protocols flush just past the boundary) so the last round is not
+  // artificially penalised.
+  s.simulator.runUntil(s.simulator.now() + cfg.drainGrace);
+  return collect(completed);
+}
+
+RunResult Experiment::collect(std::uint32_t roundsCompleted) const {
+  const Scenario& s = scenario_;
+  RunResult r;
+  r.protocol = toString(s.config.protocol);
+  r.roundsCompleted = roundsCompleted;
+
+  if (const auto death = s.network->firstSensorDeathTime()) {
+    r.firstDeathObserved = true;
+    r.firstDeathSeconds = death->seconds();
+    r.firstDeathRound = static_cast<std::uint32_t>(
+        death->us / s.config.roundDuration.us);
+  }
+  r.aliveSensors = s.network->aliveSensorCount();
+
+  const net::TrafficStats& t = s.network->stats();
+  r.generated = t.generated();
+  r.delivered = t.delivered();
+  r.deliveryRatio = t.deliveryRatio();
+  r.meanHops = t.hopStats().count() ? t.hopStats().mean() : 0.0;
+  r.meanLatencyMs =
+      t.latencyStats().count() ? t.latencyStats().mean() * 1e3 : 0.0;
+  r.p95LatencyMs =
+      t.latencyStats().count() ? t.latencyStats().percentile(95) * 1e3 : 0.0;
+  r.controlFrames = t.controlFrames();
+  r.dataFrames = t.dataFrames();
+  r.controlBytes = t.controlBytes();
+  r.dataBytes = t.dataBytes();
+  r.collisions = t.collisions();
+  r.duplicateDeliveries = t.duplicateDeliveries();
+  r.perGatewayDeliveries = t.perGatewayDeliveries();
+
+  r.sensorEnergy = summarizeSensorEnergy(*s.network);
+  r.gatewayEnergy = summarizeGatewayEnergy(*s.network);
+
+  for (net::NodeId id = 0; id < s.network->size(); ++id) {
+    if (const auto* sec = dynamic_cast<const routing::SecMlrRouting*>(
+            &s.stack->at(id))) {
+      r.rejectedMacs += sec->rejectedMacs();
+      r.rejectedReplays += sec->rejectedReplays();
+      r.rejectedTesla += sec->rejectedTesla();
+    }
+  }
+  if (s.config.attack.kind != attacks::AttackKind::kNone)
+    r.attackerStats =
+        attacks::collectAttackerStats(*s.stack, s.config.attack);
+
+  r.eventsProcessed = s.simulator.eventsProcessed();
+  return r;
+}
+
+RunResult runScenario(const ScenarioConfig& config) {
+  auto scenario = buildScenario(config);
+  Experiment experiment(*scenario);
+  return experiment.run();
+}
+
+}  // namespace wmsn::core

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/builder.hpp"
+#include "core/metrics.hpp"
+
+namespace wmsn::core {
+
+/// Everything a bench or test wants to know after a run.
+struct RunResult {
+  std::string protocol;
+  std::uint32_t roundsCompleted = 0;
+
+  // Lifetime (§5.3: time until the first sensor drains its energy).
+  bool firstDeathObserved = false;
+  std::uint32_t firstDeathRound = 0;
+  double firstDeathSeconds = 0.0;
+  std::size_t aliveSensors = 0;
+
+  // Traffic.
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  double deliveryRatio = 0.0;
+  double meanHops = 0.0;
+  double meanLatencyMs = 0.0;
+  double p95LatencyMs = 0.0;
+  std::uint64_t controlFrames = 0;
+  std::uint64_t dataFrames = 0;
+  std::uint64_t controlBytes = 0;
+  std::uint64_t dataBytes = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t duplicateDeliveries = 0;
+  std::map<net::NodeId, std::uint64_t> perGatewayDeliveries;
+
+  // Energy.
+  EnergySummary sensorEnergy;
+  EnergySummary gatewayEnergy;
+
+  // SecMLR security counters (summed over all nodes).
+  std::uint64_t rejectedMacs = 0;
+  std::uint64_t rejectedReplays = 0;
+  std::uint64_t rejectedTesla = 0;
+  attacks::AttackerStats attackerStats;
+
+  std::uint64_t eventsProcessed = 0;
+};
+
+/// Drives a built scenario through its rounds: applies scheduled gateway
+/// failures, repositions/announces moving gateways (§5.1 round model),
+/// schedules the application traffic (T packets per sensor per round,
+/// eq. 3), and runs the simulator to each round boundary.
+class Experiment {
+ public:
+  explicit Experiment(Scenario& scenario);
+
+  /// Optional per-round hook, called after each round completes (with the
+  /// 0-based round index). Benches use it to snapshot evolving state
+  /// (Table 1's per-round routing tables).
+  using RoundObserver = std::function<void(std::uint32_t round)>;
+  void setRoundObserver(RoundObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  RunResult run();
+
+ private:
+  void beginRound(std::uint32_t round);
+  void scheduleTraffic(std::uint32_t round, sim::Time roundStart);
+  RunResult collect(std::uint32_t roundsCompleted) const;
+
+  Scenario& scenario_;
+  Rng trafficRng_;
+  RoundObserver observer_;
+};
+
+/// Convenience: build + run in one call (what parallel sweeps execute).
+RunResult runScenario(const ScenarioConfig& config);
+
+}  // namespace wmsn::core

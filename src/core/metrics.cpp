@@ -1,0 +1,44 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace wmsn::core {
+
+namespace {
+EnergySummary summarize(const net::SensorNetwork& network,
+                        const std::vector<net::NodeId>& ids) {
+  EnergySummary out;
+  RunningStats stats;
+  for (net::NodeId id : ids) {
+    const net::Battery& b = network.node(id).battery();
+    const double e = b.consumedJ();
+    out.perSensorJ.push_back(e);
+    out.txJ += b.txJ();
+    out.rxJ += b.rxJ();
+    out.cpuJ += b.cpuJ();
+    stats.add(e);
+  }
+  out.totalJ = stats.sum();
+  out.meanJ = stats.mean();
+  // The paper's D² (eq. 1) is the raw sum of squared deviations.
+  out.varianceD2 =
+      stats.variancePopulation() * static_cast<double>(stats.count());
+  out.stddevJ = stats.stddev();
+  out.minJ = stats.min();
+  out.maxJ = stats.max();
+  out.jainFairness = jainFairness(out.perSensorJ);
+  return out;
+}
+}  // namespace
+
+EnergySummary summarizeSensorEnergy(const net::SensorNetwork& network) {
+  return summarize(network, network.sensorIds());
+}
+
+EnergySummary summarizeGatewayEnergy(const net::SensorNetwork& network) {
+  return summarize(network, network.gatewayIds());
+}
+
+}  // namespace wmsn::core

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+namespace wmsn::core {
+
+/// One-line human summary of a run ("protocol pdr=0.98 hops=3.1 …").
+std::string summaryLine(const RunResult& result);
+
+/// The standard comparison table the experiment binaries print: one row per
+/// run, labelled by `labels[i]` (falls back to the protocol name).
+TextTable comparisonTable(const std::vector<RunResult>& results,
+                          const std::vector<std::string>& labels = {});
+
+/// Per-gateway delivery share — the load-balance view (§4.3).
+TextTable gatewayLoadTable(const RunResult& result);
+
+/// Prints a titled table to `os` with a blank line after it.
+void printSection(std::ostream& os, const std::string& title,
+                  const TextTable& table);
+
+}  // namespace wmsn::core

@@ -1,0 +1,49 @@
+#include "core/sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace wmsn::core {
+
+std::vector<RunResult> runScenariosParallel(
+    const std::vector<ScenarioConfig>& configs, unsigned threads) {
+  std::vector<RunResult> results(configs.size());
+  if (configs.empty()) return results;
+
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 4;
+  threads = std::min<unsigned>(threads,
+                               static_cast<unsigned>(configs.size()));
+
+  std::atomic<std::size_t> nextIndex{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+
+  auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = nextIndex.fetch_add(1);
+      if (i >= configs.size()) return;
+      try {
+        results[i] = runScenario(configs[i]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  if (firstError) std::rethrow_exception(firstError);
+  return results;
+}
+
+}  // namespace wmsn::core

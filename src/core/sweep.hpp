@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace wmsn::core {
+
+/// Runs every scenario and returns results in input order. Scenarios are
+/// independent simulations, so they parallelise perfectly across a thread
+/// pool — this is where the harness spends its cores. `threads == 0` uses
+/// the hardware concurrency. Exceptions from a worker propagate to the
+/// caller.
+std::vector<RunResult> runScenariosParallel(
+    const std::vector<ScenarioConfig>& configs, unsigned threads = 0);
+
+/// Averages a metric extracted from several results (seed replication).
+template <typename Fn>
+double meanOver(const std::vector<RunResult>& results, Fn metric) {
+  if (results.empty()) return 0.0;
+  double sum = 0.0;
+  for (const RunResult& r : results) sum += metric(r);
+  return sum / static_cast<double>(results.size());
+}
+
+}  // namespace wmsn::core

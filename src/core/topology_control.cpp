@@ -1,0 +1,70 @@
+#include "core/topology_control.hpp"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace wmsn::core {
+
+SleepAssignment applySleepSchedule(net::SensorNetwork& network,
+                                   double radioRange) {
+  // GAF's equivalence condition: cell side r/√5 guarantees that nodes in
+  // horizontally/vertically adjacent cells are within r of each other.
+  const double cell = radioRange / std::sqrt(5.0);
+
+  struct CellState {
+    net::NodeId leader = net::kNoNode;
+    double leaderEnergy = -1.0;
+  };
+  std::map<std::pair<std::int64_t, std::int64_t>, CellState> cells;
+
+  auto cellOf = [cell](const net::Point& p) {
+    return std::make_pair(static_cast<std::int64_t>(std::floor(p.x / cell)),
+                          static_cast<std::int64_t>(std::floor(p.y / cell)));
+  };
+
+  // Pass 1: elect the energy-richest alive sensor per cell.
+  for (net::NodeId s : network.sensorIds()) {
+    net::Node& node = network.node(s);
+    if (!node.alive()) continue;
+    const double remaining = node.battery().finite()
+                                 ? node.battery().remainingJ()
+                                 : std::numeric_limits<double>::max();
+    CellState& state = cells[cellOf(node.position())];
+    if (remaining > state.leaderEnergy) {
+      state.leaderEnergy = remaining;
+      state.leader = s;
+    }
+  }
+
+  // Pass 2: leaders (and gateways, implicitly) awake; everyone else sleeps
+  // and delegates its readings to its cell leader (same cell ⇒ within
+  // r·√(2/5) < r, so the handoff link always exists).
+  SleepAssignment assignment;
+  for (net::NodeId s : network.sensorIds()) {
+    net::Node& node = network.node(s);
+    if (!node.alive()) continue;
+    const net::NodeId leader = cells.at(cellOf(node.position())).leader;
+    const bool isLeader = leader == s;
+    node.setSleeping(!isLeader);
+    if (!isLeader) {
+      ++assignment.sleeping;
+      assignment.delegations.emplace_back(s, leader);
+    }
+  }
+  return assignment;
+}
+
+double sleepingFraction(const net::SensorNetwork& network) {
+  std::size_t alive = 0, asleep = 0;
+  for (net::NodeId s : network.sensorIds()) {
+    const net::Node& node = network.node(s);
+    if (!node.alive()) continue;
+    ++alive;
+    if (node.sleeping()) ++asleep;
+  }
+  return alive ? static_cast<double>(asleep) / static_cast<double>(alive)
+               : 0.0;
+}
+
+}  // namespace wmsn::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/sensor_network.hpp"
+
+namespace wmsn::core {
+
+/// §4.4 topology control via GAF-style sleep scheduling ("sleep scheduling
+/// controls sensors between work and sleep states, i.e., schedules sensor
+/// nodes to work in turn").
+///
+/// The area is divided into virtual grid cells of side r/√5 — small enough
+/// that ANY node in a cell can talk to ANY node in the four adjacent cells,
+/// so one awake node per cell preserves the routing topology. Within each
+/// cell the node with the most remaining energy stays awake; the rest turn
+/// their radios off until the next epoch, rotating the relay duty.
+struct SleepParams {
+  bool enabled = false;
+  /// Recompute the awake set (and rebuild routes) every this many rounds.
+  std::uint32_t epochRounds = 2;
+};
+
+/// Result of one scheduling pass: which sensors sleep and which awake cell
+/// leader each of them delegates its readings to.
+struct SleepAssignment {
+  std::size_t sleeping = 0;
+  /// (sleeper, its cell leader) — leaders route on the sleepers' behalf.
+  std::vector<std::pair<net::NodeId, net::NodeId>> delegations;
+};
+
+/// One scheduling pass: assigns sleeping/awake states to all SENSORS
+/// (gateways always stay awake).
+SleepAssignment applySleepSchedule(net::SensorNetwork& network,
+                                   double radioRange);
+
+/// Fraction of alive sensors currently asleep.
+double sleepingFraction(const net::SensorNetwork& network);
+
+}  // namespace wmsn::core

@@ -1,0 +1,30 @@
+#include "core/trace.hpp"
+
+#include "util/table.hpp"
+
+namespace wmsn::core {
+
+TraceLogger::TraceLogger()
+    : csv_({"time_s", "event", "kind", "node", "hop_dst", "origin", "uid",
+            "bytes"}) {}
+
+void TraceLogger::attach(Scenario& scenario) {
+  net::SensorNetwork* network = scenario.network.get();
+  sim::Simulator* simulator = &scenario.simulator;
+  network->setFrameObserver([this, simulator](const net::Packet& packet,
+                                              net::NodeId node,
+                                              bool transmit) {
+    csv_.addRow({TextTable::num(simulator->now().seconds(), 6),
+                 transmit ? "tx" : "rx", net::toString(packet.kind),
+                 TextTable::num(static_cast<std::uint64_t>(node)),
+                 packet.hopDst == net::kBroadcastId
+                     ? "*"
+                     : TextTable::num(
+                           static_cast<std::uint64_t>(packet.hopDst)),
+                 TextTable::num(static_cast<std::uint64_t>(packet.origin)),
+                 TextTable::num(packet.uid),
+                 TextTable::num(packet.sizeBytes())});
+  });
+}
+
+}  // namespace wmsn::core

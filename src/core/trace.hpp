@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+#include "core/builder.hpp"
+#include "util/csv.hpp"
+
+namespace wmsn::core {
+
+/// Per-frame event trace (ns-2 style): one CSV row per transmit and per
+/// successful delivery, with simulated time, packet kind, addressing, and
+/// size. Attach before running; write after. Traces are the debugging and
+/// post-hoc-analysis companion to the aggregate metrics.
+class TraceLogger {
+ public:
+  TraceLogger();
+
+  /// Hooks the scenario's sensor network. Replaces any existing frame
+  /// observer on it.
+  void attach(Scenario& scenario);
+
+  std::size_t rows() const { return csv_.rows(); }
+  const CsvWriter& csv() const { return csv_; }
+  void writeFile(const std::string& path) const { csv_.writeFile(path); }
+
+ private:
+  CsvWriter csv_;
+};
+
+}  // namespace wmsn::core

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "core/builder.hpp"
+#include "util/svg.hpp"
+
+namespace wmsn::core {
+
+struct VizOptions {
+  bool drawLinks = true;        ///< grey edges between sensors in range
+  bool drawPlaces = true;       ///< X markers at the feasible places
+  bool energyHeat = true;       ///< colour sensors by consumed-energy share
+  bool drawLegend = true;
+  double nodeRadius = 3.0;
+};
+
+/// Renders a scenario's current state — topology, links, gateway positions,
+/// feasible places, and a per-sensor energy heat map (green = cold,
+/// red = the network's hottest node). Dead sensors render as hollow grey;
+/// sleeping sensors as faded. Call after (or between) Experiment rounds.
+SvgWriter renderTopology(const Scenario& scenario, VizOptions options = {});
+
+/// Convenience: render and write to `path`.
+void writeTopologySvg(const Scenario& scenario, const std::string& path,
+                      VizOptions options = {});
+
+}  // namespace wmsn::core

@@ -1,0 +1,37 @@
+#include "crypto/ctr.hpp"
+
+namespace wmsn::crypto {
+
+void SpeckCtr::crypt(std::uint64_t counter,
+                     std::span<std::uint8_t> data) const {
+  // Keystream block i = E_K(x = low32(counter) ^ i*golden, y = high32 ^ i).
+  // Mixing the block index into both words keeps blocks of one message
+  // distinct while the per-message counter keeps messages distinct.
+  for (std::size_t offset = 0, block = 0; offset < data.size();
+       offset += Speck64::kBlockSize, ++block) {
+    const std::uint32_t x =
+        static_cast<std::uint32_t>(counter) ^
+        static_cast<std::uint32_t>(block * 0x9e3779b9ULL);
+    const std::uint32_t y = static_cast<std::uint32_t>(counter >> 32) ^
+                            static_cast<std::uint32_t>(block);
+    auto [ex, ey] = cipher_.encryptWords(x, y);
+    const std::uint8_t stream[Speck64::kBlockSize] = {
+        static_cast<std::uint8_t>(ey),       static_cast<std::uint8_t>(ey >> 8),
+        static_cast<std::uint8_t>(ey >> 16), static_cast<std::uint8_t>(ey >> 24),
+        static_cast<std::uint8_t>(ex),       static_cast<std::uint8_t>(ex >> 8),
+        static_cast<std::uint8_t>(ex >> 16), static_cast<std::uint8_t>(ex >> 24),
+    };
+    const std::size_t n =
+        std::min(data.size() - offset, Speck64::kBlockSize);
+    for (std::size_t i = 0; i < n; ++i) data[offset + i] ^= stream[i];
+  }
+}
+
+Bytes SpeckCtr::encrypt(std::uint64_t counter,
+                        std::span<const std::uint8_t> plaintext) const {
+  Bytes out(plaintext.begin(), plaintext.end());
+  crypt(counter, out);
+  return out;
+}
+
+}  // namespace wmsn::crypto

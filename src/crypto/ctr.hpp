@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/speck.hpp"
+#include "util/bytes.hpp"
+
+namespace wmsn::crypto {
+
+/// CTR-mode encryption over Speck64/128, parameterised by the SecMLR
+/// freshness counter C: the keystream for message counter C is
+/// E_K(C || blockIndex). Encryption and decryption are the same operation.
+/// The counter doubles as the SNEP-style nonce — the sender and receiver
+/// track it per (node, gateway) pair, so it never repeats under one key.
+class SpeckCtr {
+ public:
+  explicit SpeckCtr(const Key& key) : cipher_(key) {}
+
+  /// XORs the keystream for `counter` into `data` (in place).
+  void crypt(std::uint64_t counter, std::span<std::uint8_t> data) const;
+
+  /// Out-of-place convenience.
+  Bytes encrypt(std::uint64_t counter,
+                std::span<const std::uint8_t> plaintext) const;
+  Bytes decrypt(std::uint64_t counter,
+                std::span<const std::uint8_t> ciphertext) const {
+    return encrypt(counter, ciphertext);  // CTR is an involution
+  }
+
+ private:
+  Speck64 cipher_;
+};
+
+}  // namespace wmsn::crypto

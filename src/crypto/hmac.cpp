@@ -1,0 +1,58 @@
+#include "crypto/hmac.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace wmsn::crypto {
+
+HmacSha256::Digest HmacSha256::mac(std::span<const std::uint8_t> key,
+                                   std::span<const std::uint8_t> message) {
+  constexpr std::size_t kBlockSize = 64;
+  std::array<std::uint8_t, kBlockSize> keyBlock{};
+
+  if (key.size() > kBlockSize) {
+    const auto digest = Sha256::hash(key);
+    std::memcpy(keyBlock.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(keyBlock.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kBlockSize> ipad{};
+  std::array<std::uint8_t, kBlockSize> opad{};
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = keyBlock[i] ^ 0x36;
+    opad[i] = keyBlock[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const auto innerDigest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(innerDigest);
+  return outer.finish();
+}
+
+PacketMac packetMac(const Key& key, std::uint64_t counter,
+                    std::span<const std::uint8_t> message) {
+  ByteWriter w;
+  w.u64(counter);
+  w.raw(message);
+  const auto full = HmacSha256::mac(key, w.data());
+  PacketMac tag;
+  std::copy_n(full.begin(), tag.size(), tag.begin());
+  return tag;
+}
+
+bool verifyPacketMac(const Key& key, std::uint64_t counter,
+                     std::span<const std::uint8_t> message,
+                     const PacketMac& tag) {
+  const PacketMac expected = packetMac(key, counter, message);
+  return constantTimeEqual(
+      std::span<const std::uint8_t>(expected.data(), expected.size()),
+      std::span<const std::uint8_t>(tag.data(), tag.size()));
+}
+
+}  // namespace wmsn::crypto

@@ -1,0 +1,45 @@
+#include "crypto/keystore.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace wmsn::crypto {
+
+KeyStore KeyStore::fromSeed(std::uint64_t seed) {
+  ByteWriter w;
+  w.str("wmsn-master-key");
+  w.u64(seed);
+  const auto digest = Sha256::hash(w.data());
+  Key master;
+  std::copy_n(digest.begin(), master.size(), master.begin());
+  return KeyStore(master);
+}
+
+Key KeyStore::derive(const char* label, std::uint32_t a,
+                     std::uint32_t b) const {
+  ByteWriter w;
+  w.str(label);
+  w.u32(a);
+  w.u32(b);
+  const auto digest = HmacSha256::mac(master_, w.data());
+  Key key;
+  std::copy_n(digest.begin(), key.size(), key.begin());
+  return key;
+}
+
+Key KeyStore::pairwiseKey(std::uint32_t sensorId,
+                          std::uint32_t gatewayId) const {
+  return derive("pairwise", sensorId, gatewayId);
+}
+
+Key KeyStore::broadcastSeedKey(std::uint32_t gatewayId) const {
+  return derive("tesla-seed", gatewayId, 0);
+}
+
+bool CounterWindow::acceptAndAdvance(std::uint64_t counter) {
+  if (counter <= last_) return false;
+  last_ = counter;
+  return true;
+}
+
+}  // namespace wmsn::crypto

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "crypto/hmac.hpp"
+
+namespace wmsn::crypto {
+
+/// Pre-distribution key store. SecMLR assumes "each sensor node [is]
+/// pre-distributed secret keys, each shared with a gateway" (§6.2). We model
+/// the deployment-time key server: every pairwise key is derived from a
+/// network master key as K_ij = KDF(master, sensor_i || gateway_j), so a
+/// sensor only ever holds its own m keys and a gateway can re-derive the key
+/// of any claimed sender — exactly what lets a gateway authenticate RREQ
+/// origins without per-node state.
+class KeyStore {
+ public:
+  explicit KeyStore(const Key& masterKey) : master_(masterKey) {}
+
+  /// Deterministic master from a seed (tests / simulations).
+  static KeyStore fromSeed(std::uint64_t seed);
+
+  /// The pairwise key shared between sensor `sensorId` and gateway
+  /// `gatewayId`.
+  Key pairwiseKey(std::uint32_t sensorId, std::uint32_t gatewayId) const;
+
+  /// Key for TESLA chain generation of gateway `gatewayId`.
+  Key broadcastSeedKey(std::uint32_t gatewayId) const;
+
+ private:
+  Key derive(const char* label, std::uint32_t a, std::uint32_t b) const;
+  Key master_;
+};
+
+/// Per-direction replay window: accepts a counter only if strictly greater
+/// than the last accepted one (SecMLR's "incremental counter C").
+class CounterWindow {
+ public:
+  /// Returns true (and advances) iff `counter` is fresh.
+  bool acceptAndAdvance(std::uint64_t counter);
+  std::uint64_t last() const { return last_; }
+
+ private:
+  std::uint64_t last_ = 0;  // counters start at 1; 0 = nothing seen
+};
+
+/// Monotonic counter source for a sender.
+class CounterSource {
+ public:
+  std::uint64_t next() { return ++value_; }
+  std::uint64_t current() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace wmsn::crypto

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace wmsn::crypto {
+
+/// FIPS 180-4 SHA-256, implemented from scratch (no external crypto
+/// dependency is available offline). Used as the hash for HMAC, the key
+/// derivation in KeyStore, and the TESLA one-way chains.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Streaming interface.
+  void update(std::span<const std::uint8_t> data);
+  void update(const std::string& s);
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(const std::string& s);
+
+ private:
+  void processBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t bufferLen_ = 0;
+  std::uint64_t totalBits_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace wmsn::crypto

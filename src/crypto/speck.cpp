@@ -1,0 +1,74 @@
+#include "crypto/speck.hpp"
+
+namespace wmsn::crypto {
+
+namespace {
+inline std::uint32_t ror(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+inline std::uint32_t rol(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+inline std::uint32_t loadLe32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+inline void storeLe32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+}  // namespace
+
+Speck64::Speck64(const Key& key) {
+  // Key schedule for Speck64/128: four 32-bit key words.
+  std::uint32_t k = loadLe32(key.data());
+  std::array<std::uint32_t, 3> l = {loadLe32(key.data() + 4),
+                                    loadLe32(key.data() + 8),
+                                    loadLe32(key.data() + 12)};
+  for (int i = 0; i < kRounds; ++i) {
+    roundKeys_[static_cast<std::size_t>(i)] = k;
+    const std::size_t idx = static_cast<std::size_t>(i % 3);
+    std::uint32_t li = l[idx];
+    li = (ror(li, 8) + k) ^ static_cast<std::uint32_t>(i);
+    k = rol(k, 3) ^ li;
+    l[idx] = li;
+  }
+}
+
+std::pair<std::uint32_t, std::uint32_t> Speck64::encryptWords(
+    std::uint32_t x, std::uint32_t y) const {
+  for (int i = 0; i < kRounds; ++i) {
+    x = (ror(x, 8) + y) ^ roundKeys_[static_cast<std::size_t>(i)];
+    y = rol(y, 3) ^ x;
+  }
+  return {x, y};
+}
+
+Speck64::Block Speck64::encrypt(const Block& plaintext) const {
+  std::uint32_t y = loadLe32(plaintext.data());
+  std::uint32_t x = loadLe32(plaintext.data() + 4);
+  auto [ex, ey] = encryptWords(x, y);
+  Block out;
+  storeLe32(out.data(), ey);
+  storeLe32(out.data() + 4, ex);
+  return out;
+}
+
+Speck64::Block Speck64::decrypt(const Block& ciphertext) const {
+  std::uint32_t y = loadLe32(ciphertext.data());
+  std::uint32_t x = loadLe32(ciphertext.data() + 4);
+  for (int i = kRounds - 1; i >= 0; --i) {
+    y = ror(y ^ x, 3);
+    x = rol((x ^ roundKeys_[static_cast<std::size_t>(i)]) - y, 8);
+  }
+  Block out;
+  storeLe32(out.data(), y);
+  storeLe32(out.data() + 4, x);
+  return out;
+}
+
+}  // namespace wmsn::crypto

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/hmac.hpp"
+
+namespace wmsn::crypto {
+
+/// Speck64/128 block cipher (Beaulieu et al., NSA 2013): 64-bit block,
+/// 128-bit key, 27 rounds. Chosen as the packet cipher because it is the
+/// canonical lightweight cipher for exactly the sensor-node class of hardware
+/// the paper targets — tiny code size, ARX-only operations.
+class Speck64 {
+ public:
+  static constexpr std::size_t kBlockSize = 8;
+  static constexpr int kRounds = 27;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+
+  explicit Speck64(const Key& key);
+
+  Block encrypt(const Block& plaintext) const;
+  Block decrypt(const Block& ciphertext) const;
+
+  /// Word-level primitives exposed for the CTR keystream generator.
+  std::pair<std::uint32_t, std::uint32_t> encryptWords(std::uint32_t x,
+                                                       std::uint32_t y) const;
+
+ private:
+  std::array<std::uint32_t, kRounds> roundKeys_{};
+};
+
+}  // namespace wmsn::crypto

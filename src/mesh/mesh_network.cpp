@@ -1,0 +1,91 @@
+#include "mesh/mesh_network.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace wmsn::mesh {
+
+MeshNetwork::MeshNetwork(sim::Simulator& simulator, MeshTopology topology,
+                         MeshParams params, Rng rng)
+    : simulator_(simulator),
+      topology_(std::move(topology)),
+      params_(params),
+      rng_(rng),
+      routing_(topology_),
+      alive_(topology_.nodes.size(), true) {
+  WMSN_REQUIRE(params_.bitrateBps > 0.0);
+}
+
+sim::Time MeshNetwork::transferTime(std::size_t bytes) const {
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / params_.bitrateBps;
+  return sim::Time::microseconds(std::max<std::int64_t>(
+             1, static_cast<std::int64_t>(seconds * 1e6))) +
+         params_.perHopProcessing;
+}
+
+void MeshNetwork::setNodeAlive(MeshNodeId id, bool alive) {
+  WMSN_REQUIRE(id < alive_.size());
+  if (alive_[id] == alive) return;
+  alive_[id] = alive;
+  routing_.recompute(alive_);  // link-state convergence (self-healing)
+}
+
+bool MeshNetwork::nodeAlive(MeshNodeId id) const {
+  WMSN_REQUIRE(id < alive_.size());
+  return alive_[id];
+}
+
+void MeshNetwork::inject(MeshNodeId ingress, std::uint64_t uid,
+                         std::size_t bytes) {
+  WMSN_REQUIRE(ingress < topology_.nodes.size());
+  ++injected_;
+  if (!alive_[ingress]) {
+    ++dropped_;
+    return;
+  }
+  MeshMessage msg;
+  msg.uid = uid;
+  msg.bytes = bytes;
+  msg.ingress = ingress;
+  msg.injectedAt = simulator_.now();
+  hop(msg, ingress);
+}
+
+void MeshNetwork::hop(MeshMessage msg, MeshNodeId at) {
+  if (!alive_[at]) {
+    ++dropped_;
+    return;
+  }
+  if (topology_.nodes[at].kind == MeshNodeKind::kBaseStation) {
+    ++delivered_;
+    hopStats_.add(static_cast<double>(msg.hops));
+    latencyStats_.add((simulator_.now() - msg.injectedAt).seconds());
+    if (onBase_) onBase_(msg, at, simulator_.now());
+    return;
+  }
+  // Per-hop route decision against the CURRENT table: a failure between
+  // hops reroutes mid-flight instead of dropping.
+  const MeshNodeId next = routing_.nextHopToBase(at);
+  if (next == kNoMeshNode) {
+    ++dropped_;  // partitioned from every base station
+    return;
+  }
+  if (params_.linkLossProbability > 0.0 &&
+      rng_.chance(params_.linkLossProbability)) {
+    ++dropped_;
+    return;
+  }
+  ++forwardLoad_[at];
+  msg.hops += 1;
+  simulator_.schedule(transferTime(msg.bytes),
+                      [this, msg, next] { hop(msg, next); });
+}
+
+double MeshNetwork::deliveryRatio() const {
+  if (injected_ == 0) return 1.0;
+  return static_cast<double>(delivered_) / static_cast<double>(injected_);
+}
+
+}  // namespace wmsn::mesh

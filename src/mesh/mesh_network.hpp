@@ -1,0 +1,85 @@
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "mesh/mesh_routing.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace wmsn::mesh {
+
+struct MeshParams {
+  double bitrateBps = 54e6;              ///< 802.11-class backhaul
+  sim::Time perHopProcessing = sim::Time::microseconds(500);
+  double linkLossProbability = 0.0;      ///< per-hop loss (stress testing)
+};
+
+/// A message travelling the mesh tier.
+struct MeshMessage {
+  std::uint64_t uid = 0;
+  std::size_t bytes = 0;
+  MeshNodeId ingress = kNoMeshNode;   ///< the WMG it entered at
+  sim::Time injectedAt;
+  std::uint32_t hops = 0;
+};
+
+/// The middle tier: WMGs + WMRs + base stations exchanging frames over
+/// 802.11-class links, forwarding sensor readings toward the nearest base
+/// station ("Internet"). Node failures trigger link-state recomputation —
+/// the self-healing property of §3.1/§7.1.
+class MeshNetwork {
+ public:
+  using BaseDeliveryCallback =
+      std::function<void(const MeshMessage&, MeshNodeId base, sim::Time now)>;
+
+  MeshNetwork(sim::Simulator& simulator, MeshTopology topology,
+              MeshParams params, Rng rng);
+  MeshNetwork(const MeshNetwork&) = delete;
+  MeshNetwork& operator=(const MeshNetwork&) = delete;
+
+  const MeshTopology& topology() const { return topology_; }
+
+  /// Injects a reading at WMG `ingress`; it hops toward the nearest base
+  /// station. Delivery (or silent drop on partition) is asynchronous.
+  void inject(MeshNodeId ingress, std::uint64_t uid, std::size_t bytes);
+
+  void setBaseDelivery(BaseDeliveryCallback cb) { onBase_ = std::move(cb); }
+
+  /// Fails/restores a mesh node; routing recomputes immediately.
+  void setNodeAlive(MeshNodeId id, bool alive);
+  bool nodeAlive(MeshNodeId id) const;
+
+  // --- metrics -------------------------------------------------------------
+  std::uint64_t injected() const { return injected_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+  double deliveryRatio() const;
+  const SampleStats& hopStats() const { return hopStats_; }
+  const SampleStats& latencyStats() const { return latencyStats_; }
+  /// Frames forwarded per node — the backhaul load-balance view.
+  const std::map<MeshNodeId, std::uint64_t>& forwardLoad() const {
+    return forwardLoad_;
+  }
+
+ private:
+  void hop(MeshMessage msg, MeshNodeId at);
+  sim::Time transferTime(std::size_t bytes) const;
+
+  sim::Simulator& simulator_;
+  MeshTopology topology_;
+  MeshParams params_;
+  Rng rng_;
+  MeshRoutingTable routing_;
+  std::vector<bool> alive_;
+  BaseDeliveryCallback onBase_;
+
+  std::uint64_t injected_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  SampleStats hopStats_;
+  SampleStats latencyStats_;
+  std::map<MeshNodeId, std::uint64_t> forwardLoad_;
+};
+
+}  // namespace wmsn::mesh

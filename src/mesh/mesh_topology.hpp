@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/geometry.hpp"
+#include "util/random.hpp"
+
+namespace wmsn::mesh {
+
+using MeshNodeId = std::uint32_t;
+inline constexpr MeshNodeId kNoMeshNode = 0xffffffffu;
+
+/// Roles in the middle tier (§3.2): WMGs are dual-stack sinks of a sensor
+/// network AND mesh routers; WMRs "only serve as routers of [the] wireless
+/// mesh network"; base stations bridge to the Internet.
+enum class MeshNodeKind : std::uint8_t { kWmg, kWmr, kBaseStation };
+
+std::string toString(MeshNodeKind kind);
+
+struct MeshNodeSpec {
+  net::Point position;
+  MeshNodeKind kind = MeshNodeKind::kWmr;
+};
+
+/// A generated mesh-tier layout.
+struct MeshTopology {
+  std::vector<MeshNodeSpec> nodes;
+  double linkRange = 250.0;  ///< 802.11-class range, metres
+
+  std::vector<MeshNodeId> idsOf(MeshNodeKind kind) const;
+  bool linked(MeshNodeId a, MeshNodeId b) const;
+  /// Every WMG can reach some base station over alive links? (all alive)
+  bool connected() const;
+};
+
+struct MeshTopologyParams {
+  std::size_t wmrCount = 9;
+  std::size_t baseStationCount = 1;
+  double width = 1000.0;
+  double height = 1000.0;
+  /// 802.11-class long-haul links with directional antennas; must exceed
+  /// the WMR grid spacing (width / sqrt(wmrCount)) for a connected backbone.
+  double linkRange = 360.0;
+  std::size_t maxAttempts = 200;
+};
+
+/// WMRs on a jittered grid over the backhaul area, base stations at the
+/// edge, WMGs at the caller-provided positions (the sensor networks'
+/// gateway sites, scaled into the backhaul plane by the caller).
+MeshTopology makeMeshTopology(const MeshTopologyParams& params,
+                              const std::vector<net::Point>& wmgPositions,
+                              Rng& rng);
+
+}  // namespace wmsn::mesh

@@ -1,0 +1,67 @@
+#include "mesh/wmsn_stack.hpp"
+
+#include "util/require.hpp"
+
+namespace wmsn::mesh {
+
+WmsnStack::WmsnStack(MeshNetwork& mesh, std::size_t meshBytesPerReading)
+    : mesh_(mesh), meshBytesPerReading_(meshBytesPerReading) {
+  mesh_.setBaseDelivery([this](const MeshMessage& msg, MeshNodeId /*base*/,
+                               sim::Time now) {
+    ++atBase_;
+    auto it = sensedAt_.find(msg.uid);
+    if (it != sensedAt_.end()) {
+      // Gateway-ingress → base-station latency; the sensor-tier leg is in
+      // the sensor network's own latency stats.
+      endToEndLatency_.add((now - it->second).seconds());
+      sensedAt_.erase(it);
+    }
+  });
+}
+
+void WmsnStack::attach(net::SensorNetwork& sensorNetwork,
+                       std::map<net::NodeId, MeshNodeId> gatewayToWmg) {
+  for (const auto& [gw, wmg] : gatewayToWmg) {
+    WMSN_REQUIRE_MSG(sensorNetwork.node(gw).isGateway(),
+                     "mapping must start at a sensor-tier gateway");
+    WMSN_REQUIRE(wmg < mesh_.topology().nodes.size());
+    WMSN_REQUIRE_MSG(
+        mesh_.topology().nodes[wmg].kind == MeshNodeKind::kWmg,
+        "mapping must land on a mesh-tier WMG");
+  }
+  Attachment attachment;
+  attachment.network = &sensorNetwork;
+  attachment.gatewayToWmg = std::move(gatewayToWmg);
+  attachments_.push_back(attachment);
+
+  sensorNetwork.stats().setDeliveryCallback(
+      [this, &sensorNetwork](std::uint64_t uid, net::NodeId /*origin*/,
+                             net::NodeId gateway, sim::Time when) {
+        ++atGateways_;
+        for (const Attachment& a : attachments_) {
+          if (a.network != &sensorNetwork) continue;
+          auto it = a.gatewayToWmg.find(gateway);
+          if (it == a.gatewayToWmg.end()) return;
+          sensedAt_[uid] = when;
+          mesh_.inject(it->second, uid, meshBytesPerReading_);
+          return;
+        }
+      });
+}
+
+void WmsnStack::setGatewayAlive(net::SensorNetwork& sensorNetwork,
+                                net::NodeId gateway, bool alive) {
+  WMSN_REQUIRE(sensorNetwork.node(gateway).isGateway());
+  if (!alive) {
+    sensorNetwork.node(gateway).kill(
+        sensorNetwork.simulator().now());
+  }
+  // (Sensor-tier nodes have no "revive"; the mesh side does.)
+  for (const Attachment& a : attachments_) {
+    if (a.network != &sensorNetwork) continue;
+    auto it = a.gatewayToWmg.find(gateway);
+    if (it != a.gatewayToWmg.end()) mesh_.setNodeAlive(it->second, alive);
+  }
+}
+
+}  // namespace wmsn::mesh

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <map>
+
+#include "mesh/mesh_network.hpp"
+#include "net/sensor_network.hpp"
+
+namespace wmsn::mesh {
+
+/// The full three-tier architecture of §3.2 (Fig. 1): one or more sensor
+/// networks whose gateways (WMGs) are simultaneously nodes of the mesh
+/// tier, which backhauls every delivered reading to a base station — the
+/// "Internet" edge. The stack wires the tiers together: a reading's first
+/// arrival at a sensor-tier gateway is injected into the mesh at that
+/// gateway's WMG.
+class WmsnStack {
+ public:
+  explicit WmsnStack(MeshNetwork& mesh, std::size_t meshBytesPerReading = 32);
+
+  /// Couples a sensor network to the mesh. `gatewayToWmg` maps sensor-tier
+  /// gateway node ids to mesh-tier WMG ids. Replaces the sensor network's
+  /// delivery callback.
+  void attach(net::SensorNetwork& sensorNetwork,
+              std::map<net::NodeId, MeshNodeId> gatewayToWmg);
+
+  /// Kills/restores a WMG in BOTH tiers (the gateway node in the sensor
+  /// network and the WMG in the mesh) — the ROBUST experiment's fault
+  /// injection.
+  void setGatewayAlive(net::SensorNetwork& sensorNetwork,
+                       net::NodeId gateway, bool alive);
+
+  // --- end-to-end metrics ---------------------------------------------------
+  std::uint64_t readingsAtGateways() const { return atGateways_; }
+  std::uint64_t readingsAtBase() const { return atBase_; }
+  const SampleStats& endToEndLatency() const { return endToEndLatency_; }
+
+ private:
+  struct Attachment {
+    net::SensorNetwork* network = nullptr;
+    std::map<net::NodeId, MeshNodeId> gatewayToWmg;
+  };
+
+  MeshNetwork& mesh_;
+  std::size_t meshBytesPerReading_;
+  std::vector<Attachment> attachments_;
+  std::map<std::uint64_t, sim::Time> sensedAt_;  ///< uid → gateway arrival
+  std::uint64_t atGateways_ = 0;
+  std::uint64_t atBase_ = 0;
+  SampleStats endToEndLatency_;
+};
+
+}  // namespace wmsn::mesh

@@ -1,0 +1,172 @@
+#include "net/deployment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+
+#include "util/require.hpp"
+
+namespace wmsn::net {
+
+namespace {
+
+/// Spread `count` points on a jittered sub-grid covering the area.
+std::vector<Point> spreadPoints(std::size_t count, double width, double height,
+                                double jitterFraction, Rng& rng) {
+  std::vector<Point> out;
+  if (count == 0) return out;
+  const auto cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(count) * width / height)));
+  const std::size_t rows = (count + cols - 1) / cols;
+  const double cellW = width / static_cast<double>(cols);
+  const double cellH = height / static_cast<double>(rows);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t cx = i % cols;
+    const std::size_t cy = i / cols;
+    const double jx = rng.uniform(-jitterFraction, jitterFraction) * cellW;
+    const double jy = rng.uniform(-jitterFraction, jitterFraction) * cellH;
+    out.push_back(Point{
+        std::clamp((static_cast<double>(cx) + 0.5) * cellW + jx, 0.0, width),
+        std::clamp((static_cast<double>(cy) + 0.5) * cellH + jy, 0.0,
+                   height)});
+  }
+  return out;
+}
+
+Deployment generateConnected(const DeploymentParams& params, Rng& rng,
+                             const std::function<std::vector<Point>(Rng&)>&
+                                 sensorGen) {
+  for (std::size_t attempt = 0; attempt < params.maxAttempts; ++attempt) {
+    Deployment d;
+    d.width = params.width;
+    d.height = params.height;
+    d.sensors = sensorGen(rng);
+    d.gateways =
+        spreadPoints(params.gatewayCount, params.width, params.height,
+                     0.25, rng);
+    if (isConnected(d, params.radioRange)) return d;
+  }
+  throw PreconditionError(
+      "could not generate a connected deployment; increase radio range, "
+      "node count, or area density");
+}
+
+}  // namespace
+
+bool isConnected(const Deployment& deployment, double radioRange) {
+  const std::size_t s = deployment.sensors.size();
+  const std::size_t total = s + deployment.gateways.size();
+  if (s == 0) return true;
+  if (deployment.gateways.empty()) return false;
+
+  auto positionAt = [&](std::size_t i) -> const Point& {
+    return i < s ? deployment.sensors[i] : deployment.gateways[i - s];
+  };
+
+  const double r2 = radioRange * radioRange;
+  std::vector<bool> reached(total, false);
+  std::deque<std::size_t> frontier;
+  for (std::size_t g = s; g < total; ++g) {
+    reached[g] = true;
+    frontier.push_back(g);
+  }
+  while (!frontier.empty()) {
+    const std::size_t cur = frontier.front();
+    frontier.pop_front();
+    for (std::size_t i = 0; i < total; ++i) {
+      if (reached[i]) continue;
+      if (distanceSq(positionAt(cur), positionAt(i)) <= r2) {
+        reached[i] = true;
+        frontier.push_back(i);
+      }
+    }
+  }
+  return std::all_of(reached.begin(), reached.begin() + static_cast<long>(s),
+                     [](bool b) { return b; });
+}
+
+bool sensorsConnected(const std::vector<Point>& sensors, double radioRange) {
+  if (sensors.size() <= 1) return true;
+  const double r2 = radioRange * radioRange;
+  std::vector<bool> reached(sensors.size(), false);
+  std::deque<std::size_t> frontier{0};
+  reached[0] = true;
+  std::size_t count = 1;
+  while (!frontier.empty()) {
+    const std::size_t cur = frontier.front();
+    frontier.pop_front();
+    for (std::size_t i = 0; i < sensors.size(); ++i) {
+      if (reached[i]) continue;
+      if (distanceSq(sensors[cur], sensors[i]) <= r2) {
+        reached[i] = true;
+        ++count;
+        frontier.push_back(i);
+      }
+    }
+  }
+  return count == sensors.size();
+}
+
+bool placesAttached(const std::vector<Point>& places,
+                    const std::vector<Point>& sensors, double attachRange) {
+  const double r2 = attachRange * attachRange;
+  for (const Point& p : places) {
+    bool attached = false;
+    for (const Point& s : sensors) {
+      if (distanceSq(p, s) <= r2) {
+        attached = true;
+        break;
+      }
+    }
+    if (!attached) return false;
+  }
+  return true;
+}
+
+Deployment uniformDeployment(const DeploymentParams& params, Rng& rng) {
+  return generateConnected(params, rng, [&params](Rng& r) {
+    std::vector<Point> out;
+    out.reserve(params.sensorCount);
+    for (std::size_t i = 0; i < params.sensorCount; ++i)
+      out.push_back(
+          Point{r.uniform(0.0, params.width), r.uniform(0.0, params.height)});
+    return out;
+  });
+}
+
+Deployment gridDeployment(const DeploymentParams& params, Rng& rng) {
+  return generateConnected(params, rng, [&params](Rng& r) {
+    return spreadPoints(params.sensorCount, params.width, params.height, 0.05,
+                        r);
+  });
+}
+
+Deployment clusteredDeployment(const DeploymentParams& params,
+                               std::size_t clusterCount, Rng& rng) {
+  WMSN_REQUIRE(clusterCount >= 1);
+  return generateConnected(params, rng, [&params, clusterCount](Rng& r) {
+    // Cluster centres spread out; sensors normally distributed around them.
+    const auto centres =
+        spreadPoints(clusterCount, params.width, params.height, 0.2, r);
+    const double sigma =
+        std::min(params.width, params.height) /
+        (3.0 * std::sqrt(static_cast<double>(clusterCount)));
+    std::vector<Point> out;
+    out.reserve(params.sensorCount);
+    for (std::size_t i = 0; i < params.sensorCount; ++i) {
+      const Point& c = centres[i % centres.size()];
+      out.push_back(
+          Point{std::clamp(r.normal(c.x, sigma), 0.0, params.width),
+                std::clamp(r.normal(c.y, sigma), 0.0, params.height)});
+    }
+    return out;
+  });
+}
+
+std::vector<Point> feasiblePlaces(const DeploymentParams& params,
+                                  std::size_t count, Rng& rng) {
+  return spreadPoints(count, params.width, params.height, 0.15, rng);
+}
+
+}  // namespace wmsn::net

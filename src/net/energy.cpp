@@ -1,0 +1,48 @@
+#include "net/energy.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace wmsn::net {
+
+double EnergyParams::crossoverDistance() const {
+  return std::sqrt(eFsJPerBitM2 / eMpJPerBitM4);
+}
+
+double EnergyParams::txCost(std::size_t bits, double distance) const {
+  WMSN_REQUIRE(distance >= 0.0);
+  const double k = static_cast<double>(bits);
+  const double d0 = crossoverDistance();
+  const double amp = distance < d0
+                         ? eFsJPerBitM2 * distance * distance
+                         : eMpJPerBitM4 * distance * distance * distance *
+                               distance;
+  return eElecJPerBit * k + amp * k;
+}
+
+double EnergyParams::rxCost(std::size_t bits) const {
+  return eElecJPerBit * static_cast<double>(bits);
+}
+
+double EnergyParams::cpuCost(std::size_t bytes) const {
+  return eCpuJPerByte * static_cast<double>(bytes);
+}
+
+bool Battery::draw(double joules, double* bucket) {
+  WMSN_REQUIRE(joules >= 0.0);
+  if (!finite_) {
+    *bucket += joules;
+    return true;
+  }
+  if (remaining_ <= 0.0) return true;  // already dead; nothing changes
+  *bucket += joules;
+  remaining_ -= joules;
+  if (remaining_ <= 0.0) {
+    remaining_ = 0.0;
+    return false;  // this charge killed the node
+  }
+  return true;
+}
+
+}  // namespace wmsn::net

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+
+namespace wmsn::net {
+
+/// First-order radio model (Heinzelman et al. — the energy model of the
+/// LEACH lineage the paper builds on). Transmitting k bits over distance d
+/// costs E_elec·k + ε·k·d^α where α=2 (free space) below the crossover
+/// distance d₀ and α=4 (multipath) above it; receiving costs E_elec·k.
+struct EnergyParams {
+  double eElecJPerBit = 50e-9;     ///< electronics energy, TX and RX
+  double eFsJPerBitM2 = 10e-12;    ///< free-space amplifier (d < d₀)
+  double eMpJPerBitM4 = 0.0013e-12;///< multipath amplifier (d ≥ d₀)
+  double eCpuJPerByte = 0.8e-9;    ///< CPU cost per byte of crypto processing
+                                   ///< (~order of a software AES on a MSP430)
+  double initialEnergyJ = 2.0;     ///< sensor battery (2 J, standard in sims)
+
+  /// Free-space / multipath crossover distance d₀ = sqrt(ε_fs / ε_mp).
+  double crossoverDistance() const;
+
+  double txCost(std::size_t bits, double distance) const;
+  double rxCost(std::size_t bits) const;
+  double cpuCost(std::size_t bytes) const;
+};
+
+/// Per-node battery with a breakdown of where the energy went. Gateways can
+/// be built with infinite capacity (the paper's MLR assumption, §5.3: "let
+/// gateways have unrestricted energy").
+class Battery {
+ public:
+  Battery() = default;
+  explicit Battery(double capacityJ) : remaining_(capacityJ), finite_(true) {}
+
+  static Battery infinite() { return Battery(); }
+
+  /// Draws `joules` from the battery; returns false if the node just died
+  /// (charge could not be fully paid). A dead battery absorbs no further
+  /// charges.
+  bool drawTx(double joules) { return draw(joules, &txJ_); }
+  bool drawRx(double joules) { return draw(joules, &rxJ_); }
+  bool drawCpu(double joules) { return draw(joules, &cpuJ_); }
+
+  bool depleted() const { return finite_ && remaining_ <= 0.0; }
+  bool finite() const { return finite_; }
+  double remainingJ() const { return finite_ ? remaining_ : 0.0; }
+  double consumedJ() const { return txJ_ + rxJ_ + cpuJ_; }
+  double txJ() const { return txJ_; }
+  double rxJ() const { return rxJ_; }
+  double cpuJ() const { return cpuJ_; }
+
+ private:
+  bool draw(double joules, double* bucket);
+
+  double remaining_ = 0.0;
+  bool finite_ = false;
+  double txJ_ = 0.0;
+  double rxJ_ = 0.0;
+  double cpuJ_ = 0.0;
+};
+
+}  // namespace wmsn::net

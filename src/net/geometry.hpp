@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cmath>
+
+namespace wmsn::net {
+
+/// 2-D deployment-plane position, in metres.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+inline double distanceSq(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double distance(const Point& a, const Point& b) {
+  return std::sqrt(distanceSq(a, b));
+}
+
+}  // namespace wmsn::net

@@ -1,0 +1,42 @@
+#include "net/mac.hpp"
+
+#include <algorithm>
+
+namespace wmsn::net {
+
+CsmaMac::CsmaMac(Medium& medium, sim::Simulator& simulator, NodeId self,
+                 Rng rng, CsmaParams params)
+    : medium_(medium),
+      simulator_(simulator),
+      self_(self),
+      rng_(rng),
+      params_(params) {}
+
+void CsmaMac::send(Packet packet) {
+  // Initial random jitter de-synchronises nodes that react to the same
+  // broadcast (e.g. a flood) in the same event — otherwise they would all
+  // sense an idle channel simultaneously and collide deterministically.
+  const sim::Time jitter = sim::Time::microseconds(
+      rng_.uniformInt(0, params_.backoffUnit.us * 8));
+  simulator_.schedule(jitter,
+                      [this, packet = std::move(packet)] { attempt(packet, 0); });
+}
+
+void CsmaMac::attempt(Packet packet, std::uint32_t tries) {
+  if (!medium_.channelBusy(self_)) {
+    medium_.transmit(self_, std::move(packet));
+    return;
+  }
+  if (tries + 1 >= params_.maxAttempts) {
+    ++drops_;
+    return;
+  }
+  const std::uint32_t be = std::min(params_.minBackoffExponent + tries,
+                                    params_.maxBackoffExponent);
+  const std::int64_t slots = rng_.uniformInt(1, (1 << be) - 1);
+  simulator_.schedule(
+      sim::Time::microseconds(slots * params_.backoffUnit.us),
+      [this, packet = std::move(packet), tries] { attempt(packet, tries + 1); });
+}
+
+}  // namespace wmsn::net

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/medium.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/random.hpp"
+
+namespace wmsn::net {
+
+/// Link-layer send discipline for one node.
+class Mac {
+ public:
+  virtual ~Mac() = default;
+  virtual void send(Packet packet) = 0;
+  virtual std::uint64_t drops() const { return 0; }
+};
+
+/// Transmits immediately — an idealised contention-free channel. Used by
+/// analytical experiments where MAC noise would obscure the routing effect
+/// (e.g. the exact Fig. 2 hop-count reproduction).
+class IdealMac final : public Mac {
+ public:
+  IdealMac(Medium& medium, NodeId self) : medium_(medium), self_(self) {}
+  void send(Packet packet) override { medium_.transmit(self_, packet); }
+
+ private:
+  Medium& medium_;
+  NodeId self_;
+};
+
+struct CsmaParams {
+  std::uint32_t maxAttempts = 6;
+  std::uint32_t minBackoffExponent = 3;  ///< 802.15.4 macMinBE
+  std::uint32_t maxBackoffExponent = 5;  ///< 802.15.4 macMaxBE
+  sim::Time backoffUnit = sim::Time::microseconds(320);  ///< aUnitBackoffPeriod
+};
+
+/// Unslotted CSMA/CA in the style of 802.15.4: sense the channel, transmit
+/// if idle, otherwise back off a random number of backoff units with a
+/// growing window; give up after maxAttempts.
+class CsmaMac final : public Mac {
+ public:
+  CsmaMac(Medium& medium, sim::Simulator& simulator, NodeId self, Rng rng,
+          CsmaParams params = {});
+
+  void send(Packet packet) override;
+  std::uint64_t drops() const override { return drops_; }
+
+ private:
+  void attempt(Packet packet, std::uint32_t tries);
+
+  Medium& medium_;
+  sim::Simulator& simulator_;
+  NodeId self_;
+  Rng rng_;
+  CsmaParams params_;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace wmsn::net

@@ -1,0 +1,173 @@
+#include "net/medium.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace wmsn::net {
+
+Medium::Medium(sim::Simulator& simulator, const RadioModel& radio,
+               const EnergyParams& energy, MediumHost& host,
+               MediumParams params, Rng rng)
+    : simulator_(simulator),
+      radio_(radio),
+      energy_(energy),
+      host_(host),
+      params_(params),
+      rng_(rng) {
+  WMSN_REQUIRE(params_.bitrateBps > 0.0);
+}
+
+sim::Time Medium::airTime(const Packet& packet) const {
+  const double seconds =
+      static_cast<double>(packet.sizeBits()) / params_.bitrateBps;
+  return sim::Time::microseconds(
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(seconds * 1e6)));
+}
+
+void Medium::pruneExpired() {
+  const sim::Time now = simulator_.now();
+  std::erase_if(activeTx_, [&](const ActiveTx& tx) { return tx.end <= now; });
+  std::erase_if(ongoingRx_,
+                [&](const auto& rx) { return rx->end <= now; });
+}
+
+void Medium::setPromiscuous(NodeId id, bool enabled) {
+  if (enabled)
+    promiscuous_.insert(id);
+  else
+    promiscuous_.erase(id);
+}
+
+bool Medium::channelBusy(NodeId at) const {
+  const sim::Time now = simulator_.now();
+  const Point here = host_.positionOf(at);
+  for (const ActiveTx& tx : activeTx_) {
+    if (tx.end <= now) continue;
+    if (radio_.linked(tx.senderPos, here)) return true;
+  }
+  return false;
+}
+
+void Medium::transmit(NodeId from, Packet packet) {
+  const std::uint32_t retries =
+      (params_.unicastArq && packet.hopDst != kBroadcastId)
+          ? params_.maxArqRetries
+          : 0;
+  transmitAttempt(from, std::move(packet), retries);
+}
+
+void Medium::transmitAttempt(NodeId from, Packet packet,
+                             std::uint32_t retriesLeft) {
+  if (!host_.aliveOf(from)) return;
+  pruneExpired();
+
+  const sim::Time now = simulator_.now();
+  const sim::Time end = now + airTime(packet);
+  const Point srcPos = host_.positionOf(from);
+  const std::size_t bits = packet.sizeBits();
+
+  packet.hopSrc = from;
+  ++framesTransmitted_;
+  host_.noteTransmit(packet.kind, packet.sizeBytes());
+  // Fixed transmit power sized to the nominal range (§5.2: identical power).
+  host_.chargeTx(from, energy_.txCost(bits, radio_.nominalRange()));
+
+  activeTx_.push_back(ActiveTx{from, srcPos, now, end});
+
+  const std::size_t n = host_.nodeCount();
+  for (NodeId rx = 0; rx < n; ++rx) {
+    if (rx == from || !host_.listeningOf(rx)) continue;
+    if (!radio_.linked(srcPos, host_.positionOf(rx))) continue;
+
+    auto reception = std::make_shared<Reception>();
+    reception->receiver = rx;
+    reception->start = now;
+    reception->end = end;
+
+    if (params_.collisions) {
+      for (const auto& other : ongoingRx_) {
+        if (other->receiver != rx) continue;
+        if (other->end <= now) continue;  // already finished
+        // Receiver capture: the radio stays locked on the frame it started
+        // decoding first; a later-arriving overlapping frame is lost, but
+        // does not corrupt the locked one. Simultaneous starts jam both.
+        if (other->start < now) {
+          reception->corrupted = true;
+        } else {
+          other->corrupted = true;
+          reception->corrupted = true;
+        }
+      }
+    }
+    ongoingRx_.push_back(reception);
+
+    const double pDeliver =
+        radio_.deliveryProbability(srcPos, host_.positionOf(rx));
+    const bool channelOk = rng_.chance(pDeliver);
+    const bool isArqTarget = packet.hopDst == rx;
+
+    simulator_.scheduleAt(end, [this, reception, packet, channelOk,
+                                isArqTarget, retriesLeft, from] {
+      const NodeId rxId = reception->receiver;
+      const bool rxAlive = host_.listeningOf(rxId);
+      const bool decoded = rxAlive && !reception->corrupted && channelOk;
+      if (rxAlive) {
+        // The radio listened for the whole frame either way.
+        host_.chargeRx(rxId, energy_.rxCost(packet.sizeBits()));
+        if (reception->corrupted) {
+          ++framesCorrupted_;
+          host_.noteCollision();
+        }
+      }
+
+      if (isArqTarget && retriesLeft > 0 && !decoded) {
+        // 802.15.4 AUTO-ACK ARQ: no immediate ACK arrived — retransmit
+        // after the turnaround plus a short random backoff.
+        ++arqRetransmissions_;
+        const sim::Time backoff =
+            params_.arqTurnaround +
+            sim::Time::microseconds(rng_.uniformInt(0, 1000));
+        simulator_.schedule(backoff, [this, from, packet, retriesLeft] {
+          transmitAttempt(from, packet, retriesLeft - 1);
+        });
+        return;
+      }
+      if (!decoded) return;
+
+      if (isArqTarget && params_.unicastArq) {
+        // Successful unicast: account the immediate-ACK exchange (the ACK
+        // itself is modelled as reliable — it rides the SIFS turnaround).
+        const std::size_t ackBits = params_.ackFrameBytes * 8;
+        host_.chargeTx(rxId, energy_.txCost(ackBits, radio_.nominalRange()));
+        host_.chargeRx(from, energy_.rxCost(ackBits));
+      }
+
+      if (packet.hopDst != kBroadcastId && packet.hopDst != rxId &&
+          !promiscuous_.contains(rxId))
+        return;
+      host_.deliverFrame(rxId, packet, packet.hopSrc);
+    });
+  }
+}
+
+void Medium::transmitLongRange(NodeId from, NodeId to, Packet packet) {
+  if (!host_.aliveOf(from)) return;
+  const sim::Time end = simulator_.now() + airTime(packet);
+  const double d = distance(host_.positionOf(from), host_.positionOf(to));
+  const std::size_t bits = packet.sizeBits();
+
+  packet.hopSrc = from;
+  packet.hopDst = to;
+  ++framesTransmitted_;
+  host_.noteTransmit(packet.kind, packet.sizeBytes());
+  host_.chargeTx(from, energy_.txCost(bits, d));
+
+  simulator_.scheduleAt(end, [this, to, packet] {
+    if (!host_.listeningOf(to)) return;
+    host_.chargeRx(to, energy_.rxCost(packet.sizeBits()));
+    host_.deliverFrame(to, packet, packet.hopSrc);
+  });
+}
+
+}  // namespace wmsn::net

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "net/energy.hpp"
+#include "net/packet.hpp"
+#include "net/radio.hpp"
+#include "sim/simulator.hpp"
+#include "util/random.hpp"
+
+namespace wmsn::net {
+
+/// What the medium needs to know about the node population. Implemented by
+/// SensorNetwork; keeps Medium free of ownership cycles.
+class MediumHost {
+ public:
+  virtual ~MediumHost() = default;
+
+  virtual std::size_t nodeCount() const = 0;
+  virtual Point positionOf(NodeId id) const = 0;
+  virtual bool aliveOf(NodeId id) const = 0;
+  /// Alive AND radio on — frames only reach listening nodes (§4.4 sleep
+  /// scheduling turns radios off).
+  virtual bool listeningOf(NodeId id) const = 0;
+
+  /// Energy charges; the host applies them to the node's battery and handles
+  /// node death.
+  virtual void chargeTx(NodeId id, double joules) = 0;
+  virtual void chargeRx(NodeId id, double joules) = 0;
+
+  /// A frame addressed to `to` (unicast match or broadcast) decoded
+  /// successfully.
+  virtual void deliverFrame(NodeId to, const Packet& packet, NodeId from) = 0;
+
+  /// Traffic accounting hooks.
+  virtual void noteTransmit(PacketKind kind, std::size_t bytes) = 0;
+  virtual void noteCollision() = 0;
+};
+
+struct MediumParams {
+  double bitrateBps = 250'000.0;  ///< 802.15.4 payload bitrate
+  bool collisions = true;         ///< overlapping receptions corrupt frames
+  /// 802.15.4 AUTO-ACK link-layer ARQ: unicast frames that the addressed
+  /// receiver fails to decode are retransmitted (macMaxFrameRetries).
+  bool unicastArq = true;
+  std::uint32_t maxArqRetries = 3;
+  sim::Time arqTurnaround = sim::Time::microseconds(864);  ///< ACK wait
+  std::size_t ackFrameBytes = 11;  ///< immediate-ACK frame size
+};
+
+/// Shared broadcast radio channel. Every frame physically reaches all alive
+/// nodes within radio range of the sender: all of them pay RX energy (radios
+/// must decode the header before filtering), all of them can collide, and
+/// the host delivers the frame to those the addressing matches — which is
+/// exactly what lets routing protocols overhear and adversaries eavesdrop.
+class Medium {
+ public:
+  Medium(sim::Simulator& simulator, const RadioModel& radio,
+         const EnergyParams& energy, MediumHost& host, MediumParams params,
+         Rng rng);
+
+  /// Begin transmitting `packet` from node `from` at fixed power (nominal
+  /// range). Delivery callbacks fire when the frame's air time elapses.
+  /// Unicast frames get link-layer ARQ (see MediumParams::unicastArq).
+  void transmit(NodeId from, Packet packet);
+
+  /// Power-amplified point-to-point transmission over `distance` metres,
+  /// bypassing the normal range limit — models LEACH's cluster-head → sink
+  /// long-haul sends. No interference with the short-range channel.
+  void transmitLongRange(NodeId from, NodeId to, Packet packet);
+
+  /// Carrier sense: is any transmission in progress audible at `at`?
+  bool channelBusy(NodeId at) const;
+
+  /// Promiscuous mode: the node's radio delivers frames regardless of the
+  /// link-layer destination. Honest sensor stacks never enable this; it is
+  /// the eavesdropping primitive of the adversary models.
+  void setPromiscuous(NodeId id, bool enabled);
+  bool isPromiscuous(NodeId id) const { return promiscuous_.contains(id); }
+
+  sim::Time airTime(const Packet& packet) const;
+
+  std::uint64_t framesTransmitted() const { return framesTransmitted_; }
+  std::uint64_t framesCorrupted() const { return framesCorrupted_; }
+  std::uint64_t arqRetransmissions() const { return arqRetransmissions_; }
+
+ private:
+  struct ActiveTx {
+    NodeId sender;
+    Point senderPos;
+    sim::Time start;
+    sim::Time end;
+  };
+
+  struct Reception {
+    NodeId receiver;
+    sim::Time start;
+    sim::Time end;
+    bool corrupted = false;
+  };
+
+  void pruneExpired();
+  void transmitAttempt(NodeId from, Packet packet, std::uint32_t retriesLeft);
+
+  sim::Simulator& simulator_;
+  const RadioModel& radio_;
+  const EnergyParams& energy_;
+  MediumHost& host_;
+  MediumParams params_;
+  Rng rng_;
+
+  std::vector<ActiveTx> activeTx_;
+  std::vector<std::shared_ptr<Reception>> ongoingRx_;
+  std::unordered_set<NodeId> promiscuous_;
+  std::uint64_t framesTransmitted_ = 0;
+  std::uint64_t framesCorrupted_ = 0;
+  std::uint64_t arqRetransmissions_ = 0;
+};
+
+}  // namespace wmsn::net

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace wmsn::net {
+
+/// Network-wide traffic accounting, fed by the medium and the routing
+/// protocols. Delivery is deduplicated by packet uid (flooding delivers many
+/// copies; the application counts a reading once).
+class TrafficStats {
+ public:
+  void onGenerated(std::uint64_t uid, NodeId origin, sim::Time when);
+
+  /// Records a delivery at a gateway. Returns true if this uid was delivered
+  /// for the first time.
+  bool onDelivered(std::uint64_t uid, NodeId origin, NodeId gateway,
+                   std::uint32_t hops, sim::Time when);
+
+  /// A frame left some radio; control kinds count as routing overhead.
+  void onTransmit(PacketKind kind, std::size_t bytes);
+
+  void onMacDrop() { ++macDrops_; }
+  void onCollision() { ++collisions_; }
+
+  std::uint64_t generated() const { return generated_; }
+  std::uint64_t delivered() const { return deliveredUids_.size(); }
+  double deliveryRatio() const;
+
+  std::uint64_t controlFrames() const { return controlFrames_; }
+  std::uint64_t dataFrames() const { return dataFrames_; }
+  std::uint64_t controlBytes() const { return controlBytes_; }
+  std::uint64_t dataBytes() const { return dataBytes_; }
+  std::uint64_t macDrops() const { return macDrops_; }
+  std::uint64_t collisions() const { return collisions_; }
+  /// Deliveries of an already-delivered uid — what a replay attack inflates
+  /// when the protocol lacks freshness counters.
+  std::uint64_t duplicateDeliveries() const { return duplicateDeliveries_; }
+
+  /// Hop counts of first deliveries.
+  const SampleStats& hopStats() const { return hops_; }
+  /// End-to-end latency (generation → first gateway delivery), seconds.
+  const SampleStats& latencyStats() const { return latency_; }
+  /// First-delivery count per gateway — the load-balance view (§4.3).
+  const std::map<NodeId, std::uint64_t>& perGatewayDeliveries() const {
+    return perGateway_;
+  }
+
+  /// Frames transmitted per packet kind — the overhead breakdown.
+  const std::map<PacketKind, std::uint64_t>& framesByKind() const {
+    return framesByKind_;
+  }
+
+  void reset();
+
+  /// Invoked on each FIRST delivery of a uid — the hook the three-tier
+  /// WMSN stack uses to hand the reading from the sensor tier to the mesh
+  /// tier at the receiving gateway.
+  using DeliveryCallback = std::function<void(
+      std::uint64_t uid, NodeId origin, NodeId gateway, sim::Time when)>;
+  void setDeliveryCallback(DeliveryCallback cb) {
+    onFirstDelivery_ = std::move(cb);
+  }
+
+ private:
+  DeliveryCallback onFirstDelivery_;
+  std::uint64_t generated_ = 0;
+  std::uint64_t controlFrames_ = 0;
+  std::uint64_t dataFrames_ = 0;
+  std::uint64_t controlBytes_ = 0;
+  std::uint64_t dataBytes_ = 0;
+  std::uint64_t macDrops_ = 0;
+  std::uint64_t collisions_ = 0;
+  std::uint64_t duplicateDeliveries_ = 0;
+  std::unordered_map<std::uint64_t, sim::Time> genTime_;
+  std::unordered_set<std::uint64_t> deliveredUids_;
+  SampleStats hops_;
+  SampleStats latency_;
+  std::map<NodeId, std::uint64_t> perGateway_;
+  std::map<PacketKind, std::uint64_t> framesByKind_;
+};
+
+}  // namespace wmsn::net

@@ -1,0 +1,87 @@
+#include "net/mobility.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace wmsn::net {
+
+std::vector<std::size_t> GatewaySchedule::movedGateways(std::uint32_t round) {
+  std::vector<std::size_t> moved;
+  if (round == 0) return moved;
+  for (std::size_t g = 0; g < gatewayCount(); ++g)
+    if (placeOf(g, round) != placeOf(g, round - 1)) moved.push_back(g);
+  return moved;
+}
+
+StaticSchedule::StaticSchedule(std::vector<std::size_t> places,
+                               std::size_t placeCount)
+    : places_(std::move(places)), placeCount_(placeCount) {
+  for (std::size_t p : places_) WMSN_REQUIRE(p < placeCount_);
+}
+
+std::size_t StaticSchedule::placeOf(std::size_t gateway,
+                                    std::uint32_t /*round*/) {
+  WMSN_REQUIRE(gateway < places_.size());
+  return places_[gateway];
+}
+
+ScriptedSchedule::ScriptedSchedule(
+    std::vector<std::vector<std::size_t>> rounds, std::size_t placeCount)
+    : rounds_(std::move(rounds)), placeCount_(placeCount) {
+  WMSN_REQUIRE(!rounds_.empty());
+  const std::size_t m = rounds_.front().size();
+  for (const auto& r : rounds_) {
+    WMSN_REQUIRE_MSG(r.size() == m, "all rounds must place every gateway");
+    for (std::size_t p : r) WMSN_REQUIRE(p < placeCount_);
+  }
+}
+
+std::size_t ScriptedSchedule::placeOf(std::size_t gateway,
+                                      std::uint32_t round) {
+  // Past the script's end the last assignment holds.
+  const auto& r = rounds_[std::min<std::size_t>(round, rounds_.size() - 1)];
+  WMSN_REQUIRE(gateway < r.size());
+  return r[gateway];
+}
+
+std::size_t ScriptedSchedule::gatewayCount() const {
+  return rounds_.front().size();
+}
+
+RotatingRandomSchedule::RotatingRandomSchedule(std::size_t gatewayCount,
+                                               std::size_t placeCount,
+                                               std::uint64_t seed)
+    : placeCount_(placeCount), rng_(seed) {
+  WMSN_REQUIRE(gatewayCount >= 1);
+  WMSN_REQUIRE_MSG(placeCount >= gatewayCount,
+                   "need at least as many feasible places as gateways");
+  // Initial placement: first m places (deterministic; matches Table 1's
+  // "first round at A, B, C").
+  current_.resize(gatewayCount);
+  for (std::size_t g = 0; g < gatewayCount; ++g) current_[g] = g;
+  history_.push_back(current_);
+}
+
+void RotatingRandomSchedule::advanceTo(std::uint32_t round) {
+  while (computedRound_ < round) {
+    ++computedRound_;
+    const std::size_t mover = (computedRound_ - 1) % current_.size();
+    // Choose a place not currently occupied by any gateway.
+    std::vector<std::size_t> free;
+    for (std::size_t p = 0; p < placeCount_; ++p)
+      if (std::find(current_.begin(), current_.end(), p) == current_.end())
+        free.push_back(p);
+    if (!free.empty()) current_[mover] = free[rng_.index(free.size())];
+    history_.push_back(current_);
+  }
+}
+
+std::size_t RotatingRandomSchedule::placeOf(std::size_t gateway,
+                                            std::uint32_t round) {
+  WMSN_REQUIRE(gateway < current_.size());
+  advanceTo(round);
+  return history_[round][gateway];
+}
+
+}  // namespace wmsn::net

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/geometry.hpp"
+#include "util/random.hpp"
+
+namespace wmsn::net {
+
+/// MLR's mobility model (§5.3): gateways occupy m of |P| feasible places;
+/// at round boundaries some gateways move to different places. A schedule
+/// answers "which place does gateway g occupy in round r".
+class GatewaySchedule {
+ public:
+  virtual ~GatewaySchedule() = default;
+
+  /// Place index (into the feasible-place list) of gateway `g` in round `r`.
+  virtual std::size_t placeOf(std::size_t gateway, std::uint32_t round) = 0;
+
+  virtual std::size_t gatewayCount() const = 0;
+  virtual std::size_t placeCount() const = 0;
+
+  /// Gateways whose place changed going into round `r` (empty for r==0 —
+  /// initial placement is not a move).
+  std::vector<std::size_t> movedGateways(std::uint32_t round);
+};
+
+/// Fixed assignment — gateways never move.
+class StaticSchedule final : public GatewaySchedule {
+ public:
+  StaticSchedule(std::vector<std::size_t> places, std::size_t placeCount);
+  std::size_t placeOf(std::size_t gateway, std::uint32_t round) override;
+  std::size_t gatewayCount() const override { return places_.size(); }
+  std::size_t placeCount() const override { return placeCount_; }
+
+ private:
+  std::vector<std::size_t> places_;
+  std::size_t placeCount_;
+};
+
+/// Explicit per-round assignments — used to reproduce Table 1's scripted
+/// A,B,C → A,C,D → C,D,E sequence exactly.
+class ScriptedSchedule final : public GatewaySchedule {
+ public:
+  ScriptedSchedule(std::vector<std::vector<std::size_t>> rounds,
+                   std::size_t placeCount);
+  std::size_t placeOf(std::size_t gateway, std::uint32_t round) override;
+  std::size_t gatewayCount() const override;
+  std::size_t placeCount() const override { return placeCount_; }
+
+ private:
+  std::vector<std::vector<std::size_t>> rounds_;  // rounds_[r][g] = place
+  std::size_t placeCount_;
+};
+
+/// Each round, one gateway (rotating) moves to a uniformly-chosen free
+/// place. Over enough rounds every feasible place gets visited — the
+/// precondition for MLR's table convergence. Deterministic given the seed.
+class RotatingRandomSchedule final : public GatewaySchedule {
+ public:
+  RotatingRandomSchedule(std::size_t gatewayCount, std::size_t placeCount,
+                         std::uint64_t seed);
+  std::size_t placeOf(std::size_t gateway, std::uint32_t round) override;
+  std::size_t gatewayCount() const override { return current_.size(); }
+  std::size_t placeCount() const override { return placeCount_; }
+
+ private:
+  void advanceTo(std::uint32_t round);
+
+  std::size_t placeCount_;
+  Rng rng_;
+  std::uint32_t computedRound_ = 0;
+  std::vector<std::size_t> current_;
+  std::vector<std::vector<std::size_t>> history_;  // history_[r][g]
+};
+
+}  // namespace wmsn::net

@@ -1,0 +1,18 @@
+#include "net/node.hpp"
+
+namespace wmsn::net {
+
+Node::Node(NodeId id, NodeKind kind, Point position, Battery battery, Rng rng)
+    : id_(id),
+      kind_(kind),
+      position_(position),
+      battery_(battery),
+      rng_(rng) {}
+
+void Node::kill(sim::Time when) {
+  if (!alive_) return;
+  alive_ = false;
+  deathTime_ = when;
+}
+
+}  // namespace wmsn::net

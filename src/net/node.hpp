@@ -1,0 +1,75 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "net/energy.hpp"
+#include "net/geometry.hpp"
+#include "net/mac.hpp"
+#include "net/packet.hpp"
+#include "util/random.hpp"
+
+namespace wmsn::net {
+
+enum class NodeKind : std::uint8_t {
+  kSensor,   ///< 802.15.4-only leaf, battery-limited
+  kGateway,  ///< WMG: sink of the sensor tier, router of the mesh tier
+};
+
+/// One device in a sensor network: identity, position, battery, link layer,
+/// and an upcall to whatever protocol stack is attached.
+class Node {
+ public:
+  using ReceiveHandler = std::function<void(const Packet&, NodeId from)>;
+
+  Node(NodeId id, NodeKind kind, Point position, Battery battery, Rng rng);
+
+  NodeId id() const { return id_; }
+  NodeKind kind() const { return kind_; }
+  bool isGateway() const { return kind_ == NodeKind::kGateway; }
+
+  const Point& position() const { return position_; }
+  void setPosition(Point p) { position_ = p; }
+
+  Battery& battery() { return battery_; }
+  const Battery& battery() const { return battery_; }
+
+  bool alive() const { return alive_; }
+  void kill(sim::Time when);
+  std::optional<sim::Time> deathTime() const { return deathTime_; }
+
+  /// Sleep scheduling (§4.4): a sleeping node's radio is off — it neither
+  /// receives nor pays RX energy, but it may still wake briefly to transmit
+  /// its own readings (duty-cycled sensing).
+  bool sleeping() const { return sleeping_; }
+  void setSleeping(bool sleeping) { sleeping_ = sleeping; }
+  /// Awake and alive — what the medium checks before delivering a frame.
+  bool listening() const { return alive_ && !sleeping_; }
+
+  void setMac(std::unique_ptr<Mac> mac) { mac_ = std::move(mac); }
+  Mac& mac() { return *mac_; }
+
+  void setReceiveHandler(ReceiveHandler handler) {
+    receiveHandler_ = std::move(handler);
+  }
+  void receive(const Packet& packet, NodeId from) {
+    if (alive_ && receiveHandler_) receiveHandler_(packet, from);
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  NodeId id_;
+  NodeKind kind_;
+  Point position_;
+  Battery battery_;
+  bool alive_ = true;
+  bool sleeping_ = false;
+  std::optional<sim::Time> deathTime_;
+  std::unique_ptr<Mac> mac_;
+  ReceiveHandler receiveHandler_;
+  Rng rng_;
+};
+
+}  // namespace wmsn::net

@@ -1,0 +1,27 @@
+#include "net/packet.hpp"
+
+namespace wmsn::net {
+
+std::string toString(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::kHello: return "HELLO";
+    case PacketKind::kRreq: return "RREQ";
+    case PacketKind::kRres: return "RRES";
+    case PacketKind::kData: return "DATA";
+    case PacketKind::kCostBeacon: return "COST";
+    case PacketKind::kChAdvert: return "CH_ADV";
+    case PacketKind::kChJoin: return "CH_JOIN";
+    case PacketKind::kGatewayMove: return "GW_MOVE";
+    case PacketKind::kKeyDisclose: return "KEY_DISC";
+    case PacketKind::kAck: return "ACK";
+    case PacketKind::kLoadAdvisory: return "LOAD_ADV";
+    case PacketKind::kCommand: return "COMMAND";
+    case PacketKind::kAdv: return "ADV";
+    case PacketKind::kReq: return "REQ";
+    case PacketKind::kInterest: return "INTEREST";
+    case PacketKind::kReinforce: return "REINFORCE";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace wmsn::net

@@ -1,0 +1,41 @@
+#include "net/radio.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace wmsn::net {
+
+UnitDiskRadio::UnitDiskRadio(double range) : range_(range) {
+  WMSN_REQUIRE(range > 0.0);
+}
+
+bool UnitDiskRadio::linked(const Point& a, const Point& b) const {
+  return distanceSq(a, b) <= range_ * range_;
+}
+
+LogDistanceRadio::LogDistanceRadio(double reliableRange, double maxRange,
+                                   double fringeExponent)
+    : reliableRange_(reliableRange),
+      maxRange_(maxRange),
+      fringeExponent_(fringeExponent) {
+  WMSN_REQUIRE(reliableRange > 0.0);
+  WMSN_REQUIRE(maxRange >= reliableRange);
+  WMSN_REQUIRE(fringeExponent > 0.0);
+}
+
+bool LogDistanceRadio::linked(const Point& a, const Point& b) const {
+  return distanceSq(a, b) <= maxRange_ * maxRange_;
+}
+
+double LogDistanceRadio::deliveryProbability(const Point& a,
+                                             const Point& b) const {
+  const double d = distance(a, b);
+  if (d <= reliableRange_) return 1.0;
+  if (d >= maxRange_) return 0.0;
+  const double frac = (d - reliableRange_) / (maxRange_ - reliableRange_);
+  return std::pow(1.0 - frac, fringeExponent_);
+}
+
+}  // namespace wmsn::net

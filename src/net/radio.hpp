@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/geometry.hpp"
+
+namespace wmsn::net {
+
+/// Propagation model: decides connectivity and per-link delivery probability
+/// between two positions. Implementations must be deterministic functions of
+/// their inputs so simulations reproduce exactly.
+class RadioModel {
+ public:
+  virtual ~RadioModel() = default;
+
+  /// True if a frame sent from `a` can reach `b` at all.
+  virtual bool linked(const Point& a, const Point& b) const = 0;
+
+  /// Probability that a frame from `a` decodes correctly at `b`
+  /// (conditional on linked(a,b)).
+  virtual double deliveryProbability(const Point& a, const Point& b) const = 0;
+
+  /// Nominal communication range in metres — the distance assumed by the
+  /// energy model for fixed-power transmission (§5.2: "all sensor nodes
+  /// transmit data in identical power").
+  virtual double nominalRange() const = 0;
+};
+
+/// Unit-disk radio: perfect links inside `range`, nothing outside. The
+/// paper's network model (§5.1: "the radio range of a sensor node only
+/// covers its immediate neighboring nodes").
+class UnitDiskRadio final : public RadioModel {
+ public:
+  explicit UnitDiskRadio(double range);
+
+  bool linked(const Point& a, const Point& b) const override;
+  double deliveryProbability(const Point&, const Point&) const override {
+    return 1.0;
+  }
+  double nominalRange() const override { return range_; }
+
+ private:
+  double range_;
+};
+
+/// Log-distance path-loss radio with a smooth delivery-probability falloff:
+/// reliable inside `reliableRange`, decaying to zero at `maxRange`. Models
+/// the lossy fringe real 802.15.4 links have; used by the robustness
+/// experiments.
+class LogDistanceRadio final : public RadioModel {
+ public:
+  LogDistanceRadio(double reliableRange, double maxRange,
+                   double fringeExponent = 2.0);
+
+  bool linked(const Point& a, const Point& b) const override;
+  double deliveryProbability(const Point& a, const Point& b) const override;
+  double nominalRange() const override { return maxRange_; }
+
+ private:
+  double reliableRange_;
+  double maxRange_;
+  double fringeExponent_;
+};
+
+}  // namespace wmsn::net

@@ -1,0 +1,169 @@
+#include "net/sensor_network.hpp"
+
+#include <deque>
+
+#include "util/require.hpp"
+
+namespace wmsn::net {
+
+SensorNetwork::SensorNetwork(sim::Simulator& simulator,
+                             std::unique_ptr<RadioModel> radio,
+                             SensorNetworkParams params)
+    : simulator_(simulator),
+      radio_(std::move(radio)),
+      params_(params),
+      rng_(params.seed) {
+  WMSN_REQUIRE(radio_ != nullptr);
+  medium_ = std::make_unique<Medium>(simulator_, *radio_, params_.energy,
+                                     *this, params_.medium, rng_.fork());
+}
+
+NodeId SensorNetwork::addNode(NodeKind kind, Point position) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  Battery battery =
+      (kind == NodeKind::kSensor || params_.gatewaysBatteryLimited)
+          ? Battery(params_.energy.initialEnergyJ)
+          : Battery::infinite();
+  auto node = std::make_unique<Node>(id, kind, position, battery, rng_.fork());
+  switch (params_.mac) {
+    case MacKind::kIdeal:
+      node->setMac(std::make_unique<IdealMac>(*medium_, id));
+      break;
+    case MacKind::kCsma:
+      node->setMac(std::make_unique<CsmaMac>(*medium_, simulator_, id,
+                                             rng_.fork(), params_.csma));
+      break;
+  }
+  nodes_.push_back(std::move(node));
+  (kind == NodeKind::kSensor ? sensorIds_ : gatewayIds_).push_back(id);
+  return id;
+}
+
+NodeId SensorNetwork::addSensor(Point position) {
+  return addNode(NodeKind::kSensor, position);
+}
+
+NodeId SensorNetwork::addGateway(Point position) {
+  return addNode(NodeKind::kGateway, position);
+}
+
+Node& SensorNetwork::node(NodeId id) {
+  WMSN_REQUIRE(id < nodes_.size());
+  return *nodes_[id];
+}
+
+const Node& SensorNetwork::node(NodeId id) const {
+  WMSN_REQUIRE(id < nodes_.size());
+  return *nodes_[id];
+}
+
+std::vector<NodeId> SensorNetwork::neighborsOf(NodeId id) const {
+  const Node& self = node(id);
+  std::vector<NodeId> out;
+  for (const auto& other : nodes_) {
+    if (other->id() == id || !other->alive()) continue;
+    if (radio_->linked(self.position(), other->position()))
+      out.push_back(other->id());
+  }
+  return out;
+}
+
+bool SensorNetwork::allSensorsCovered() const {
+  // BFS from all alive gateways simultaneously over alive nodes.
+  std::vector<bool> reached(nodes_.size(), false);
+  std::deque<NodeId> frontier;
+  for (NodeId g : gatewayIds_) {
+    if (nodes_[g]->alive()) {
+      reached[g] = true;
+      frontier.push_back(g);
+    }
+  }
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (NodeId nbr : neighborsOf(cur)) {
+      if (!reached[nbr]) {
+        reached[nbr] = true;
+        frontier.push_back(nbr);
+      }
+    }
+  }
+  for (NodeId s : sensorIds_)
+    if (nodes_[s]->alive() && !reached[s]) return false;
+  return true;
+}
+
+std::size_t SensorNetwork::aliveSensorCount() const {
+  std::size_t count = 0;
+  for (NodeId s : sensorIds_)
+    if (nodes_[s]->alive()) ++count;
+  return count;
+}
+
+std::optional<sim::Time> SensorNetwork::firstSensorDeathTime() const {
+  std::optional<sim::Time> first;
+  for (NodeId s : sensorIds_) {
+    const auto t = nodes_[s]->deathTime();
+    if (t && (!first || *t < *first)) first = t;
+  }
+  return first;
+}
+
+void SensorNetwork::sendFrom(NodeId id, Packet packet) {
+  Node& sender = node(id);
+  if (!sender.alive()) return;
+  packet.hopSrc = id;
+  if (packet.uid == 0) packet.uid = nextPacketUid();
+  if (frameObserver_) frameObserver_(packet, id, /*transmit=*/true);
+  sender.mac().send(std::move(packet));
+}
+
+void SensorNetwork::sendLongRangeFrom(NodeId from, NodeId to, Packet packet) {
+  if (!node(from).alive()) return;
+  if (packet.uid == 0) packet.uid = nextPacketUid();
+  medium_->transmitLongRange(from, to, std::move(packet));
+}
+
+void SensorNetwork::chargeCrypto(NodeId id, std::size_t bytes) {
+  Node& n = node(id);
+  if (!n.alive()) return;
+  if (!n.battery().drawCpu(params_.energy.cpuCost(bytes))) handleDeath(id);
+}
+
+void SensorNetwork::setGatewayPosition(NodeId id, Point position) {
+  Node& n = node(id);
+  WMSN_REQUIRE_MSG(n.isGateway(), "only gateways move (§5.1)");
+  n.setPosition(position);
+}
+
+Point SensorNetwork::positionOf(NodeId id) const { return node(id).position(); }
+
+bool SensorNetwork::aliveOf(NodeId id) const { return node(id).alive(); }
+
+bool SensorNetwork::listeningOf(NodeId id) const {
+  return node(id).listening();
+}
+
+void SensorNetwork::chargeTx(NodeId id, double joules) {
+  if (!nodes_[id]->battery().drawTx(joules)) handleDeath(id);
+}
+
+void SensorNetwork::chargeRx(NodeId id, double joules) {
+  if (!nodes_[id]->battery().drawRx(joules)) handleDeath(id);
+}
+
+void SensorNetwork::handleDeath(NodeId id) {
+  nodes_[id]->kill(simulator_.now());
+}
+
+void SensorNetwork::deliverFrame(NodeId to, const Packet& packet,
+                                 NodeId from) {
+  if (frameObserver_) frameObserver_(packet, to, /*transmit=*/false);
+  node(to).receive(packet, from);
+}
+
+void SensorNetwork::noteTransmit(PacketKind kind, std::size_t bytes) {
+  stats_.onTransmit(kind, bytes);
+}
+
+}  // namespace wmsn::net

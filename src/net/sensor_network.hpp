@@ -1,0 +1,120 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/medium.hpp"
+#include "net/metrics.hpp"
+#include "net/node.hpp"
+#include "net/radio.hpp"
+#include "sim/simulator.hpp"
+
+namespace wmsn::net {
+
+enum class MacKind : std::uint8_t { kIdeal, kCsma };
+
+struct SensorNetworkParams {
+  EnergyParams energy;
+  MediumParams medium;
+  MacKind mac = MacKind::kCsma;
+  CsmaParams csma;
+  /// Random forwarding delay protocols apply before re-broadcasting a flood
+  /// (storm suppression). Zero on an ideal channel, where it would only
+  /// perturb BFS ordering.
+  sim::Time floodJitter = sim::Time::milliseconds(30);
+  bool gatewaysBatteryLimited = false;  ///< §4.1: forest-monitoring variant
+  std::uint64_t seed = 1;
+};
+
+/// One low-tier wireless sensor network: the node population, the shared
+/// radio medium, and traffic/energy accounting. Routing protocols attach per
+/// node via receive handlers and the send API.
+class SensorNetwork final : public MediumHost {
+ public:
+  SensorNetwork(sim::Simulator& simulator, std::unique_ptr<RadioModel> radio,
+                SensorNetworkParams params);
+
+  // --- population -------------------------------------------------------
+  NodeId addSensor(Point position);
+  NodeId addGateway(Point position);
+
+  std::size_t size() const { return nodes_.size(); }
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  const std::vector<NodeId>& sensorIds() const { return sensorIds_; }
+  const std::vector<NodeId>& gatewayIds() const { return gatewayIds_; }
+
+  /// Alive nodes currently within radio range of `id` (excluding itself).
+  std::vector<NodeId> neighborsOf(NodeId id) const;
+
+  /// True if every alive node can reach some gateway over alive nodes.
+  bool allSensorsCovered() const;
+
+  std::size_t aliveSensorCount() const;
+  /// Simulation time of the first sensor death, if any — the paper's network
+  /// lifetime definition (§5.3).
+  std::optional<sim::Time> firstSensorDeathTime() const;
+
+  // --- protocol-facing services ------------------------------------------
+  sim::Simulator& simulator() { return simulator_; }
+  Medium& medium() { return *medium_; }
+  const RadioModel& radio() const { return *radio_; }
+  const EnergyParams& energyParams() const { return params_.energy; }
+  TrafficStats& stats() { return stats_; }
+  const TrafficStats& stats() const { return stats_; }
+  Rng& rng() { return rng_; }
+
+  std::uint64_t nextPacketUid() { return ++uidCounter_; }
+  sim::Time floodJitter() const { return params_.floodJitter; }
+
+  /// Per-frame observer for tracing: invoked with transmit=true when a node
+  /// hands a frame to its MAC, and transmit=false when a frame is delivered
+  /// to a node's protocol.
+  using FrameObserver =
+      std::function<void(const Packet&, NodeId node, bool transmit)>;
+  void setFrameObserver(FrameObserver observer) {
+    frameObserver_ = std::move(observer);
+  }
+
+  /// Sends through the node's MAC (applies CSMA discipline if configured).
+  void sendFrom(NodeId id, Packet packet);
+  /// Power-amplified point-to-point send (LEACH cluster-head long haul).
+  void sendLongRangeFrom(NodeId from, NodeId to, Packet packet);
+
+  /// Charges a node's CPU budget for `bytes` of cryptographic processing
+  /// (SecMLR cost accounting).
+  void chargeCrypto(NodeId id, std::size_t bytes);
+
+  /// Moves a gateway (round boundary, §5.1). Requires a gateway id.
+  void setGatewayPosition(NodeId id, Point position);
+
+  // --- MediumHost ---------------------------------------------------------
+  std::size_t nodeCount() const override { return nodes_.size(); }
+  Point positionOf(NodeId id) const override;
+  bool aliveOf(NodeId id) const override;
+  bool listeningOf(NodeId id) const override;
+  void chargeTx(NodeId id, double joules) override;
+  void chargeRx(NodeId id, double joules) override;
+  void deliverFrame(NodeId to, const Packet& packet, NodeId from) override;
+  void noteTransmit(PacketKind kind, std::size_t bytes) override;
+  void noteCollision() override { stats_.onCollision(); }
+
+ private:
+  NodeId addNode(NodeKind kind, Point position);
+  void handleDeath(NodeId id);
+
+  sim::Simulator& simulator_;
+  std::unique_ptr<RadioModel> radio_;
+  SensorNetworkParams params_;
+  Rng rng_;
+  std::unique_ptr<Medium> medium_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<NodeId> sensorIds_;
+  std::vector<NodeId> gatewayIds_;
+  TrafficStats stats_;
+  std::uint64_t uidCounter_ = 0;
+  FrameObserver frameObserver_;
+};
+
+}  // namespace wmsn::net

@@ -1,0 +1,101 @@
+#include "routing/flooding.hpp"
+
+#include "routing/messages.hpp"
+
+namespace wmsn::routing {
+
+namespace {
+
+net::Packet makeDataPacket(net::NodeId self, std::uint32_t seq,
+                           std::uint64_t uid, Bytes reading) {
+  DataMsg msg;
+  msg.source = static_cast<std::uint16_t>(self);
+  msg.gateway = kAllGateways;  // any gateway may consume a flooded reading
+  msg.dataSeq = seq;
+  msg.reading = std::move(reading);
+
+  net::Packet pkt;
+  pkt.kind = net::PacketKind::kData;
+  pkt.origin = self;
+  pkt.finalDst = net::kBroadcastId;
+  pkt.seq = seq;
+  pkt.uid = uid;
+  pkt.payload = msg.encode();
+  return pkt;
+}
+
+}  // namespace
+
+FloodingRouting::FloodingRouting(net::SensorNetwork& network, net::NodeId self,
+                                 const NetworkKnowledge& knowledge,
+                                 FloodingParams params)
+    : RoutingProtocol(network, self, knowledge), params_(params) {}
+
+void FloodingRouting::originate(Bytes appPayload) {
+  if (isGateway()) return;
+  const std::uint64_t uid = registerGenerated();
+  net::Packet pkt = makeDataPacket(self(), ++seq_, uid, std::move(appPayload));
+  seen_.insert(uid);
+  sendBroadcast(std::move(pkt));
+}
+
+void FloodingRouting::onReceive(const net::Packet& packet,
+                                net::NodeId /*from*/) {
+  if (packet.kind != net::PacketKind::kData) return;
+  if (!seen_.insert(packet.uid).second) return;  // implosion guard
+
+  if (isGateway()) {
+    reportDelivered(packet.uid, packet.origin, packet.hops + 1u);
+    return;
+  }
+  if (packet.hops + 1u >= params_.maxHops) return;
+
+  net::Packet copy = packet;
+  copy.hops = static_cast<std::uint8_t>(packet.hops + 1);
+  sendBroadcastJittered(std::move(copy));
+}
+
+GossipRouting::GossipRouting(net::SensorNetwork& network, net::NodeId self,
+                             const NetworkKnowledge& knowledge,
+                             FloodingParams params)
+    : RoutingProtocol(network, self, knowledge), params_(params) {}
+
+void GossipRouting::originate(Bytes appPayload) {
+  if (isGateway()) return;
+  const std::uint64_t uid = registerGenerated();
+  net::Packet pkt = makeDataPacket(self(), ++seq_, uid, std::move(appPayload));
+  seen_.insert(uid);
+  relay(std::move(pkt));
+}
+
+void GossipRouting::relay(net::Packet packet) {
+  const auto neighbors = network().neighborsOf(self());
+  if (neighbors.empty()) return;
+  // Prefer handing the packet straight to a gateway neighbour if one exists
+  // (gossip still recognises its destination); otherwise a random walk step.
+  for (net::NodeId nbr : neighbors) {
+    if (network().node(nbr).isGateway()) {
+      sendUnicast(nbr, std::move(packet));
+      return;
+    }
+  }
+  sendUnicast(rng().pick(neighbors), std::move(packet));
+}
+
+void GossipRouting::onReceive(const net::Packet& packet, net::NodeId /*from*/) {
+  if (packet.kind != net::PacketKind::kData) return;
+
+  if (isGateway()) {
+    if (seen_.insert(packet.uid).second)
+      reportDelivered(packet.uid, packet.origin, packet.hops + 1u);
+    return;
+  }
+  // Gossip forwards duplicates too (a random walk may revisit nodes), but
+  // respects the TTL.
+  if (packet.hops + 1u >= params_.maxHops) return;
+  net::Packet copy = packet;
+  copy.hops = static_cast<std::uint8_t>(packet.hops + 1);
+  relay(std::move(copy));
+}
+
+}  // namespace wmsn::routing

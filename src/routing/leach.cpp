@@ -1,0 +1,185 @@
+#include "routing/leach.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace wmsn::routing {
+
+LeachRouting::LeachRouting(net::SensorNetwork& network, net::NodeId self,
+                           const NetworkKnowledge& knowledge,
+                           LeachParams params)
+    : RoutingProtocol(network, self, knowledge), params_(params) {
+  WMSN_REQUIRE(params.clusterHeadFraction > 0.0 &&
+               params.clusterHeadFraction < 1.0);
+  WMSN_REQUIRE_MSG(!knowledge.gatewayIds.empty(), "LEACH needs a sink");
+}
+
+bool LeachRouting::electSelf(std::uint32_t round) {
+  // LEACH threshold: T(n) = p / (1 − p·(r mod 1/p)) for nodes that have not
+  // been head within the last 1/p rounds, else 0.
+  const double p = params_.clusterHeadFraction;
+  const auto cycle = static_cast<std::uint32_t>(std::lround(1.0 / p));
+  if (lastHeadRound_ && round < *lastHeadRound_ + cycle) return false;
+  const double denominator = 1.0 - p * static_cast<double>(round % cycle);
+  const double threshold = denominator > 0.0 ? p / denominator : 1.0;
+  return rng().chance(threshold);
+}
+
+net::NodeId LeachRouting::nearestGateway() const {
+  const net::Point here = network().node(self()).position();
+  net::NodeId best = knowledge().gatewayIds.front();
+  double bestD = std::numeric_limits<double>::max();
+  for (net::NodeId g : knowledge().gatewayIds) {
+    if (!network().node(g).alive()) continue;
+    const double d = net::distance(here, network().node(g).position());
+    if (d < bestD) {
+      bestD = d;
+      best = g;
+    }
+  }
+  return best;
+}
+
+void LeachRouting::onRoundStart(std::uint32_t round) {
+  round_ = round;
+  isHead_ = false;
+  myHead_.reset();
+  pendingAggregate_.clear();
+  flushScheduled_ = false;
+
+  if (isGateway() || !alive()) return;
+
+  if (electSelf(round)) {
+    isHead_ = true;
+    lastHeadRound_ = round;
+    ChAdvertMsg msg;
+    msg.round = round;
+    // Small random offset avoids all heads advertising in the same instant.
+    scheduleAfter(sim::Time::microseconds(rng().uniformInt(0, 100'000)),
+                  [this, msg] {
+                    sendBroadcast(makePacket(net::PacketKind::kChAdvert,
+                                             net::kBroadcastId, msg.encode()));
+                  });
+  }
+}
+
+void LeachRouting::onReceive(const net::Packet& packet, net::NodeId from) {
+  switch (packet.kind) {
+    case net::PacketKind::kChAdvert: {
+      if (isGateway() || isHead_) return;
+      const ChAdvertMsg msg = ChAdvertMsg::decode(packet.payload);
+      if (msg.round != round_) return;
+      const double d = net::distance(network().node(self()).position(),
+                                     network().node(from).position());
+      // "Closest head" ≈ strongest received signal in real LEACH.
+      if (!myHead_ || d < myHeadDistance_) {
+        myHead_ = from;
+        myHeadDistance_ = d;
+        ChJoinMsg join;
+        join.round = round_;
+        // Join messages are bookkeeping; heads accept data without them, but
+        // sending one is part of LEACH's (and our) energy budget.
+        scheduleAfter(sim::Time::microseconds(rng().uniformInt(0, 100'000)),
+                      [this, join, head = *myHead_] {
+                        sendUnicast(head,
+                                    makePacket(net::PacketKind::kChJoin,
+                                               net::kBroadcastId,
+                                               join.encode()));
+                      });
+      }
+      return;
+    }
+    case net::PacketKind::kChJoin:
+      return;  // membership is implicit in the data packets
+    case net::PacketKind::kData: {
+      if (isGateway()) {
+        // An aggregate (or direct-send) arriving over the long haul.
+        const AggregateMsg agg = AggregateMsg::decode(packet.payload);
+        for (const auto& entry : agg.entries)
+          reportDelivered(entry.uid, entry.origin, entry.hops);
+        return;
+      }
+      // A member's reading arriving at this cluster head.
+      if (!isHead_) return;
+      const DataMsg msg = DataMsg::decode(packet.payload);
+      pendingAggregate_.push_back(AggregateMsg::Entry{
+          packet.uid, msg.source, static_cast<std::uint8_t>(2)});
+      if (!flushScheduled_) {
+        flushScheduled_ = true;
+        scheduleAfter(params_.aggregateDelay, [this] { flushAggregate(); });
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void LeachRouting::flushAggregate() {
+  flushScheduled_ = false;
+  if (pendingAggregate_.empty()) return;
+  // Include the head's own pending state; deliver everything in one
+  // power-amplified frame to the nearest gateway (LEACH data fusion).
+  AggregateMsg agg;
+  agg.entries = std::move(pendingAggregate_);
+  pendingAggregate_.clear();
+
+  const net::NodeId gw = nearestGateway();
+  net::Packet pkt = makePacket(net::PacketKind::kData, gw, agg.encode());
+  pkt.finalDst = gw;
+  pkt.seq = ++seq_;
+  pkt.hops = 1;
+  network().sendLongRangeFrom(self(), gw, std::move(pkt));
+}
+
+void LeachRouting::sendDirect(std::uint64_t uid, Bytes reading) {
+  // No head heard this round: transmit straight to the nearest gateway.
+  AggregateMsg agg;
+  agg.entries.push_back(
+      AggregateMsg::Entry{uid, static_cast<std::uint16_t>(self()), 1});
+  (void)reading;  // the digest replaces the raw reading on the long haul
+  const net::NodeId gw = nearestGateway();
+  net::Packet pkt = makePacket(net::PacketKind::kData, gw, agg.encode());
+  pkt.finalDst = gw;
+  pkt.seq = ++seq_;
+  network().sendLongRangeFrom(self(), gw, std::move(pkt));
+}
+
+void LeachRouting::originate(Bytes appPayload) {
+  if (isGateway()) return;
+  const std::uint64_t uid = registerGenerated();
+
+  if (isHead_) {
+    // The head's own reading joins its aggregate directly.
+    pendingAggregate_.push_back(AggregateMsg::Entry{
+        uid, static_cast<std::uint16_t>(self()), 1});
+    if (!flushScheduled_) {
+      flushScheduled_ = true;
+      scheduleAfter(params_.aggregateDelay, [this] { flushAggregate(); });
+    }
+    return;
+  }
+
+  if (!myHead_ || !network().node(*myHead_).alive()) {
+    sendDirect(uid, std::move(appPayload));
+    return;
+  }
+
+  DataMsg msg;
+  msg.source = static_cast<std::uint16_t>(self());
+  msg.gateway = static_cast<std::uint16_t>(*myHead_);
+  msg.dataSeq = ++seq_;
+  msg.reading = std::move(appPayload);
+
+  net::Packet pkt = makePacket(net::PacketKind::kData, *myHead_, msg.encode());
+  pkt.uid = uid;
+  pkt.seq = seq_;
+  // Member→head is a power-controlled point link (LEACH's TDMA slot): it
+  // pays the true-distance amplifier cost, which is what makes LEACH
+  // degrade over large areas.
+  network().sendLongRangeFrom(self(), *myHead_, std::move(pkt));
+}
+
+}  // namespace wmsn::routing

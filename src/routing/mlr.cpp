@@ -1,0 +1,406 @@
+#include "routing/mlr.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace wmsn::routing {
+
+namespace {
+std::uint64_t advertKey(std::uint16_t gateway, std::uint32_t round) {
+  return (static_cast<std::uint64_t>(gateway) << 32) | round;
+}
+}  // namespace
+
+MlrRouting::MlrRouting(net::SensorNetwork& network, net::NodeId self,
+                       const NetworkKnowledge& knowledge, MlrParams params)
+    : RoutingProtocol(network, self, knowledge), params_(params) {
+  table_.resize(knowledge.feasiblePlaces.size());
+}
+
+void MlrRouting::onRoundStart(std::uint32_t round) {
+  round_ = round;
+  pendingAcks_.clear();
+  if (isGateway()) {
+    maybeAdviseLoad(round);
+    dataReceivedThisRound_ = 0;
+  }
+  if (params_.rebuildEveryRound) {
+    // Conventional table-driven behaviour — the ablation MLR improves on.
+    table_.assign(table_.size(), PlaceEntry{});
+    occupiedBy_.clear();
+    placeOfGw_.clear();
+  }
+}
+
+void MlrRouting::onTopologyChanged() {
+  // The awake relay set changed (§4.4 sleep epoch): hop counts and next
+  // hops may now point through sleeping nodes. Occupancy (which gateway is
+  // where) is unaffected; the cost field must re-form from fresh floods.
+  table_.assign(table_.size(), PlaceEntry{});
+  advertised_.clear();
+  pendingAcks_.clear();
+}
+
+std::optional<std::uint16_t> MlrRouting::selectedPlace() const {
+  std::optional<std::uint16_t> best;
+  double bestCost = std::numeric_limits<double>::max();
+  for (const auto& [place, gw] : occupiedBy_) {
+    (void)gw;
+    const PlaceEntry& e = table_[place];
+    if (!e.known) continue;
+    double cost = e.hops;
+    // §4.3: an overloaded gateway advertised congestion this round — make
+    // its place look a few hops further so marginal traffic spills over to
+    // "starved" gateways. The penalty scales with the EXCESS over the
+    // threshold (a gateway exactly at the threshold pays nothing), which
+    // damps the shed-everything/ping-pong oscillation a flat penalty causes.
+    if (params_.loadAdvisoryThreshold > 0) {
+      const auto advisory = advisories_.find(occupiedBy_.at(place));
+      if (advisory != advisories_.end() && advisory->second.round == round_) {
+        const double excess =
+            std::max(0.0,
+                     (static_cast<double>(advisory->second.loadPermille) -
+                      1000.0) /
+                         1000.0);
+        cost += params_.loadPenaltyHops * excess;
+      }
+    }
+    if (params_.energyAwareSelection && e.nextHop != net::kNoNode) {
+      // Extension ablation: bias away from routes whose first relay is
+      // nearly drained (idealised — a deployment would piggyback residual
+      // energy on HELLO beacons).
+      const auto& battery = network().node(e.nextHop).battery();
+      if (battery.finite()) {
+        const double frac =
+            battery.remainingJ() /
+            network().energyParams().initialEnergyJ;
+        cost += 4.0 * (1.0 - frac);
+      }
+    }
+    if (cost < bestCost) {
+      bestCost = cost;
+      best = place;
+    }
+  }
+  return best;
+}
+
+std::size_t MlrRouting::knownEntryCount() const {
+  std::size_t n = 0;
+  for (const auto& e : table_)
+    if (e.known) ++n;
+  return n;
+}
+
+void MlrRouting::announceMove(std::uint16_t newPlace, std::uint16_t prevPlace,
+                              std::uint32_t round) {
+  WMSN_REQUIRE_MSG(isGateway(), "only gateways announce moves");
+  myPlace_ = newPlace;
+  GatewayMoveMsg msg;
+  msg.gateway = static_cast<std::uint16_t>(self());
+  msg.newPlace = newPlace;
+  msg.prevPlace = prevPlace;
+  msg.round = round;
+  msg.hopCount = 0;
+  // Update our own view so data addressed here is recognised.
+  if (prevPlace != kNoPlace) occupiedBy_.erase(prevPlace);
+  occupiedBy_[newPlace] = msg.gateway;
+  placeOfGw_[msg.gateway] = newPlace;
+  advertised_[advertKey(msg.gateway, round)] = 0;
+  sendBroadcast(makePacket(net::PacketKind::kGatewayMove, net::kBroadcastId,
+                           msg.encode()));
+}
+
+void MlrRouting::onReceive(const net::Packet& packet, net::NodeId from) {
+  switch (packet.kind) {
+    case net::PacketKind::kGatewayMove:
+      handleMove(packet, from);
+      return;
+    case net::PacketKind::kData:
+      handleData(packet, from);
+      return;
+    case net::PacketKind::kAck:
+      handleAck(packet);
+      return;
+    case net::PacketKind::kLoadAdvisory:
+      handleLoadAdvisory(packet);
+      return;
+    case net::PacketKind::kCommand:
+      handleCommand(packet);
+      return;
+    default:
+      return;
+  }
+}
+
+void MlrRouting::handleMove(const net::Packet& packet, net::NodeId from) {
+  const GatewayMoveMsg msg = GatewayMoveMsg::decode(packet.payload);
+  applyMove(msg, from, /*reflood=*/true);
+}
+
+void MlrRouting::applyMove(const GatewayMoveMsg& msg, net::NodeId from,
+                           bool reflood) {
+  if (msg.newPlace >= table_.size()) return;  // malformed
+  if (msg.gateway == self()) return;
+
+  // Occupancy bookkeeping: where each gateway now is.
+  if (msg.prevPlace != kNoPlace) {
+    auto it = occupiedBy_.find(msg.prevPlace);
+    if (it != occupiedBy_.end() && it->second == msg.gateway)
+      occupiedBy_.erase(it);
+  }
+  occupiedBy_[msg.newPlace] = msg.gateway;
+  placeOfGw_[msg.gateway] = msg.newPlace;
+
+  // Incremental table update (§5.3 step 2). Equal-cost updates refresh the
+  // next hop too: when a DIFFERENT gateway re-occupies a known place, the
+  // one-hop neighbours must repoint from the departed gateway to the new
+  // occupant.
+  PlaceEntry& entry = table_[msg.newPlace];
+  const std::uint16_t cand = static_cast<std::uint16_t>(msg.hopCount + 1);
+  if (!entry.known || cand <= entry.hops) {
+    entry.known = true;
+    entry.hops = cand;
+    entry.nextHop = from;
+  }
+
+  // Gateways learn occupancy but never join the BFS tree: they are sinks,
+  // not relays, and they move — a table entry pointing through a gateway
+  // would break the moment it departs.
+  if (isGateway()) return;
+
+  if (!reflood) return;  // SecMLR runs its own (pre-verification) flood
+
+  // Re-flood on first sight or improvement, advertising OUR current best
+  // hops for the place (which may come from an older round — static sensors
+  // keep old entries valid, so the flood converges to true BFS distances).
+  const std::uint64_t key = advertKey(msg.gateway, msg.round);
+  const std::uint16_t mine = entry.hops;
+  auto it = advertised_.find(key);
+  if (it != advertised_.end() && it->second <= mine) return;
+  advertised_[key] = mine;
+
+  GatewayMoveMsg rebroadcast = msg;
+  rebroadcast.hopCount = mine;
+  sendBroadcastJittered(makePacket(net::PacketKind::kGatewayMove,
+                                   net::kBroadcastId, rebroadcast.encode()));
+}
+
+void MlrRouting::originate(Bytes appPayload) {
+  if (isGateway()) return;
+  const std::uint64_t uid = registerGenerated();
+
+  // A sleeping node wakes just long enough to hand the reading to its GAF
+  // cell leader (guaranteed in range), which owns a fresh routing table.
+  if (delegate_) {
+    DataMsg msg;
+    msg.source = static_cast<std::uint16_t>(self());
+    msg.gateway = kAllGateways;   // the delegate fills these in
+    msg.place = kNoPlace;
+    msg.dataSeq = ++seq_;
+    msg.reading = std::move(appPayload);
+    net::Packet pkt =
+        makePacket(net::PacketKind::kData, *delegate_, msg.encode());
+    pkt.uid = uid;
+    pkt.seq = seq_;
+    sendUnicast(*delegate_, std::move(pkt));
+    return;
+  }
+
+  const auto place = selectedPlace();
+  if (!place) return;  // no reachable gateway known — counted as undelivered
+
+  DataMsg msg;
+  msg.source = static_cast<std::uint16_t>(self());
+  msg.gateway = occupiedBy_.at(*place);
+  msg.place = *place;
+  msg.dataSeq = ++seq_;
+  msg.reading = std::move(appPayload);
+
+  const net::NodeId nextHop = table_[*place].nextHop;
+  net::Packet pkt = makePacket(net::PacketKind::kData, nextHop, msg.encode());
+  pkt.uid = uid;
+  pkt.seq = seq_;
+  pkt.finalDst = msg.gateway;
+
+  if (params_.reliableForwarding)
+    sendWithAck(std::move(pkt), nextHop, *place);
+  else
+    sendUnicast(nextHop, std::move(pkt));
+}
+
+void MlrRouting::handleData(const net::Packet& packet, net::NodeId from) {
+  const DataMsg msg = DataMsg::decode(packet.payload);
+
+  if (params_.reliableForwarding) {
+    // Hop-by-hop ACK back to the immediate sender.
+    AckMsg ack;
+    ack.uid = packet.uid;
+    sendUnicast(from, makePacket(net::PacketKind::kAck, from, ack.encode()));
+  }
+
+  if (isGateway()) {
+    // Accept data addressed to us OR to the place we currently occupy (the
+    // source may still name the previous occupant of this place).
+    if (msg.gateway == self() ||
+        (myPlace_ != kNoPlace && msg.place == myPlace_)) {
+      ++dataReceivedThisRound_;
+      reportDelivered(packet.uid, msg.source, packet.hops + 1u);
+    }
+    return;
+  }
+  forwardData(packet, msg);
+}
+
+void MlrRouting::forwardData(net::Packet packet, const DataMsg& msg) {
+  if (msg.place == kNoPlace) {
+    // Delegated reading from a sleeping cell member (§4.4): adopt it as if
+    // it were our own traffic, keeping the original source.
+    const auto place = selectedPlace();
+    if (!place) return;
+    DataMsg adopted = msg;
+    adopted.gateway = occupiedBy_.at(*place);
+    adopted.place = *place;
+    net::Packet fwd = makePacket(net::PacketKind::kData,
+                                 table_[*place].nextHop, adopted.encode());
+    fwd.uid = packet.uid;
+    fwd.origin = packet.origin;
+    fwd.seq = packet.seq;
+    fwd.finalDst = adopted.gateway;
+    fwd.hops = static_cast<std::uint8_t>(packet.hops + 1);
+    if (params_.reliableForwarding)
+      sendWithAck(std::move(fwd), table_[*place].nextHop, *place);
+    else
+      sendUnicast(table_[*place].nextHop, std::move(fwd));
+    return;
+  }
+  if (msg.place >= table_.size()) return;
+  const PlaceEntry& entry = table_[msg.place];
+  if (!entry.known) return;  // stale route upstream — drop
+
+  packet.hops = static_cast<std::uint8_t>(packet.hops + 1);
+  packet.hopSrc = self();
+  if (params_.reliableForwarding)
+    sendWithAck(std::move(packet), entry.nextHop, msg.place);
+  else
+    sendUnicast(entry.nextHop, std::move(packet));
+}
+
+void MlrRouting::sendWithAck(net::Packet packet, net::NodeId nextHop,
+                             std::uint16_t place) {
+  const std::uint64_t uid = packet.uid;
+  PendingAck pending;
+  pending.packet = std::move(packet);
+  pending.nextHop = nextHop;
+  pending.place = place;
+  pendingAcks_[uid] = std::move(pending);
+  transmitPending(uid);
+}
+
+void MlrRouting::transmitPending(std::uint64_t uid) {
+  auto it = pendingAcks_.find(uid);
+  if (it == pendingAcks_.end()) return;  // acknowledged meanwhile
+  net::Packet copy = it->second.packet;
+  sendUnicast(it->second.nextHop, std::move(copy));
+
+  scheduleAfter(params_.ackTimeout, [this, uid] {
+    auto entry = pendingAcks_.find(uid);
+    if (entry == pendingAcks_.end()) return;  // acknowledged
+    if (entry->second.retries < params_.maxRetransmits) {
+      ++entry->second.retries;
+      transmitPending(uid);
+    } else {
+      invalidateVia(entry->second.nextHop);
+      pendingAcks_.erase(entry);
+    }
+  });
+}
+
+void MlrRouting::invalidateVia(net::NodeId nextHop) {
+  // The link looks dead: forget every table entry that depends on it. The
+  // entries re-form from the next move flood ("self-healing").
+  for (auto& entry : table_)
+    if (entry.known && entry.nextHop == nextHop) entry = PlaceEntry{};
+}
+
+void MlrRouting::handleAck(const net::Packet& packet) {
+  if (!params_.reliableForwarding) return;
+  const AckMsg msg = AckMsg::decode(packet.payload);
+  pendingAcks_.erase(msg.uid);
+}
+
+// --- §4.3 load balance -------------------------------------------------------
+
+void MlrRouting::maybeAdviseLoad(std::uint32_t round) {
+  if (params_.loadAdvisoryThreshold == 0 || round == 0) return;
+  if (dataReceivedThisRound_ <= params_.loadAdvisoryThreshold) return;
+  LoadAdvisoryMsg msg;
+  msg.gateway = static_cast<std::uint16_t>(self());
+  msg.place = myPlace_;
+  msg.round = round;
+  // 1000‰ = exactly at the threshold; clamp far-overloaded gateways at 2x.
+  const double ratio = static_cast<double>(dataReceivedThisRound_) /
+                       static_cast<double>(params_.loadAdvisoryThreshold);
+  msg.loadPermille =
+      static_cast<std::uint16_t>(std::min(2.0, ratio) * 1000.0);
+  msg.hopCount = 0;
+  sendBroadcast(makePacket(net::PacketKind::kLoadAdvisory, net::kBroadcastId,
+                           msg.encode()));
+}
+
+void MlrRouting::handleLoadAdvisory(const net::Packet& packet) {
+  const LoadAdvisoryMsg msg = LoadAdvisoryMsg::decode(packet.payload);
+  if (msg.gateway == self()) return;
+  advisories_[msg.gateway] = Advisory{msg.round, msg.loadPermille};
+  if (isGateway()) return;  // sinks learn but do not relay
+  // Flood with the usual first-seen/improvement rule.
+  const std::uint64_t key = advertKey(msg.gateway, msg.round) ^ 0x10adULL;
+  const std::uint16_t mine = static_cast<std::uint16_t>(msg.hopCount + 1);
+  auto it = advisoryReflooded_.find(key);
+  if (it != advisoryReflooded_.end() && it->second <= mine) return;
+  advisoryReflooded_[key] = mine;
+  LoadAdvisoryMsg rebroadcast = msg;
+  rebroadcast.hopCount = mine;
+  sendBroadcastJittered(makePacket(net::PacketKind::kLoadAdvisory,
+                                   net::kBroadcastId, rebroadcast.encode()));
+}
+
+// --- downstream commands (§5.1) ------------------------------------------------
+
+std::uint32_t MlrRouting::sendCommand(net::NodeId target, Bytes body) {
+  WMSN_REQUIRE_MSG(isGateway(), "commands originate at gateways");
+  CommandMsg msg;
+  msg.gateway = static_cast<std::uint16_t>(self());
+  msg.target = static_cast<std::uint16_t>(target);
+  msg.commandSeq = ++commandSeq_;
+  msg.body = std::move(body);
+  seenCommands_.insert(
+      (static_cast<std::uint64_t>(msg.gateway) << 32) | msg.commandSeq);
+  sendBroadcast(
+      makePacket(net::PacketKind::kCommand, net::kBroadcastId, msg.encode()));
+  return msg.commandSeq;
+}
+
+void MlrRouting::acceptCommand(const CommandMsg& msg) {
+  ++commandsReceived_;
+  if (commandHandler_) commandHandler_(msg);
+}
+
+void MlrRouting::handleCommand(const net::Packet& packet) {
+  const CommandMsg msg = CommandMsg::decode(packet.payload);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(msg.gateway) << 32) | msg.commandSeq;
+  if (!seenCommands_.insert(key).second) return;
+  if (msg.target == self()) {
+    acceptCommand(msg);
+    return;  // scoped flood: the target terminates its branch
+  }
+  if (isGateway()) return;  // sinks do not relay the sensor-tier flood
+  net::Packet copy = packet;
+  copy.hops = static_cast<std::uint8_t>(packet.hops + 1);
+  sendBroadcastJittered(std::move(copy));
+}
+
+}  // namespace wmsn::routing

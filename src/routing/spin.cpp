@@ -1,0 +1,89 @@
+#include "routing/spin.hpp"
+
+namespace wmsn::routing {
+
+namespace {
+
+/// ADV and REQ carry just the data descriptor (its uid, here).
+Bytes descriptor(std::uint64_t uid, std::uint8_t hops) {
+  ByteWriter w;
+  w.u64(uid);
+  w.u8(hops);
+  return w.take();
+}
+
+std::pair<std::uint64_t, std::uint8_t> parseDescriptor(const Bytes& payload) {
+  ByteReader r(payload);
+  const std::uint64_t uid = r.u64();
+  const std::uint8_t hops = r.u8();
+  return {uid, hops};
+}
+
+}  // namespace
+
+SpinRouting::SpinRouting(net::SensorNetwork& network, net::NodeId self,
+                         const NetworkKnowledge& knowledge, SpinParams params)
+    : RoutingProtocol(network, self, knowledge), params_(params) {}
+
+void SpinRouting::advertise(std::uint64_t uid, std::uint8_t hops) {
+  net::Packet adv = makePacket(net::PacketKind::kAdv, net::kBroadcastId,
+                               descriptor(uid, hops));
+  sendBroadcastJittered(std::move(adv));
+}
+
+void SpinRouting::originate(Bytes appPayload) {
+  if (isGateway()) return;
+  (void)appPayload;  // regenerated from the cache at send time
+  const std::uint64_t uid = registerGenerated();
+  ++seq_;
+  cache_.emplace(uid, 0);
+  advertise(uid, 0);
+}
+
+void SpinRouting::onReceive(const net::Packet& packet, net::NodeId from) {
+  switch (packet.kind) {
+    case net::PacketKind::kAdv: {
+      const auto [uid, hops] = parseDescriptor(packet.payload);
+      if (cache_.contains(uid)) return;          // already have it
+      if (!requested_.insert(uid).second) return;  // already asked someone
+      if (!isGateway() && hops + 1u >= params_.maxHops) return;
+      net::Packet req = makePacket(net::PacketKind::kReq, from,
+                                   descriptor(uid, hops));
+      sendUnicast(from, std::move(req));
+      return;
+    }
+    case net::PacketKind::kReq: {
+      const auto [uid, hops] = parseDescriptor(packet.payload);
+      const auto it = cache_.find(uid);
+      if (it == cache_.end()) return;  // we no longer (or never) had it
+      DataMsg msg;
+      msg.source = static_cast<std::uint16_t>(self());
+      msg.gateway = kAllGateways;
+      msg.dataSeq = ++seq_;
+      msg.reading = Bytes(params_.readingBytes, 0x5b);
+      net::Packet data =
+          makePacket(net::PacketKind::kData, from, msg.encode());
+      data.uid = uid;
+      data.hops = it->second;
+      sendUnicast(from, std::move(data));
+      return;
+    }
+    case net::PacketKind::kData: {
+      const std::uint64_t uid = packet.uid;
+      const std::uint8_t hops = static_cast<std::uint8_t>(packet.hops + 1);
+      if (!cache_.emplace(uid, hops).second) return;  // duplicate
+      if (isGateway()) {
+        const DataMsg msg = DataMsg::decode(packet.payload);
+        reportDelivered(uid, msg.source, hops);
+        return;
+      }
+      // Holding fresh data: negotiate it onward.
+      advertise(uid, hops);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace wmsn::routing

@@ -1,0 +1,316 @@
+#include "routing/spr.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace wmsn::routing {
+
+namespace {
+std::uint64_t rreqKey(std::uint16_t origin, std::uint32_t reqId) {
+  return (static_cast<std::uint64_t>(origin) << 32) | reqId;
+}
+}  // namespace
+
+SprRouting::SprRouting(net::SensorNetwork& network, net::NodeId self,
+                       const NetworkKnowledge& knowledge, SprParams params)
+    : RoutingProtocol(network, self, knowledge), params_(params) {}
+
+void SprRouting::onRoundStart(std::uint32_t round) {
+  // §5.3: "in next round nodes that need to send data reset up routing
+  // table" — all route state is scoped to a round because gateways may have
+  // moved.
+  round_ = round;
+  route_.reset();
+  routeAnnounced_ = false;
+  queryInFlight_ = false;
+  queryRetries_ = 0;
+  responses_.clear();
+  nextHopTo_.clear();
+  knownPaths_.clear();
+  seenRreq_.clear();
+}
+
+bool SprRouting::routeFresh() const {
+  return route_ && route_->round == round_;
+}
+
+std::optional<std::uint16_t> SprRouting::currentRouteHops() const {
+  if (!route_) return std::nullopt;
+  return static_cast<std::uint16_t>(route_->path.size() - 1);
+}
+
+std::optional<net::NodeId> SprRouting::currentBestGateway() const {
+  if (!route_) return std::nullopt;
+  return routeGateway_;
+}
+
+void SprRouting::originate(Bytes appPayload) {
+  if (isGateway()) return;
+  const std::uint64_t uid = registerGenerated();
+  if (routeFresh()) {
+    sendData(uid, std::move(appPayload));
+    return;
+  }
+  dataQueue_.emplace_back(uid, std::move(appPayload));
+  if (!queryInFlight_) {
+    queryRetries_ = 0;
+    startQuery();
+  }
+}
+
+void SprRouting::startQuery() {
+  queryInFlight_ = true;
+  responses_.clear();
+  ++reqId_;
+
+  RreqMsg msg;
+  msg.reqId = reqId_;
+  msg.targetGateway = kAllGateways;  // "floods a query packet with m destinations"
+  msg.path.push_back(static_cast<std::uint16_t>(self()));
+
+  seenRreq_.insert(rreqKey(static_cast<std::uint16_t>(self()), reqId_));
+  sendBroadcast(makePacket(net::PacketKind::kRreq, net::kBroadcastId,
+                           msg.encode()));
+
+  const std::uint32_t expectRound = round_;
+  const std::uint32_t expectReq = reqId_;
+  scheduleAfter(params_.responseWindow, [this, expectRound, expectReq] {
+    if (round_ != expectRound || reqId_ != expectReq || !queryInFlight_)
+      return;
+    finishQuery();
+  });
+}
+
+void SprRouting::finishQuery() {
+  queryInFlight_ = false;
+  if (responses_.empty()) {
+    if (queryRetries_ < params_.maxQueryRetries) {
+      ++queryRetries_;
+      startQuery();
+    } else {
+      dataQueue_.clear();  // unreachable this round; drops show up in PDR
+    }
+    return;
+  }
+
+  // Step 4: "Si draws a conclusion on the best gateway and the
+  // corresponding shortest path" — fewest hops, ties to the lower gateway id.
+  const RresMsg* best = &responses_.front();
+  for (const RresMsg& r : responses_) {
+    if (r.path.size() < best->path.size() ||
+        (r.path.size() == best->path.size() && r.gateway < best->gateway))
+      best = &r;
+  }
+  route_ = StoredRoute{best->path, round_};
+  routeGateway_ = best->gateway;
+  routeAnnounced_ = false;
+  responses_.clear();
+
+  auto queue = std::move(dataQueue_);
+  dataQueue_.clear();
+  for (auto& [uid, reading] : queue) sendData(uid, std::move(reading));
+}
+
+void SprRouting::sendData(std::uint64_t uid, Bytes reading) {
+  WMSN_REQUIRE(route_.has_value());
+  if (route_->path.size() < 2) return;  // degenerate: self is the gateway?
+
+  DataMsg msg;
+  msg.source = static_cast<std::uint16_t>(self());
+  msg.gateway = routeGateway_;
+  msg.dataSeq = ++seq_;
+  msg.reading = std::move(reading);
+  if (!routeAnnounced_) {
+    // Step 5.1: only the first packet carries the route.
+    msg.route = route_->path;
+    msg.cursor = 1;
+    routeAnnounced_ = true;
+  }
+
+  net::Packet pkt = makePacket(net::PacketKind::kData, route_->path[1],
+                               msg.encode());
+  pkt.uid = uid;
+  pkt.seq = seq_;
+  pkt.finalDst = routeGateway_;
+  sendUnicast(route_->path[1], std::move(pkt));
+}
+
+void SprRouting::onReceive(const net::Packet& packet, net::NodeId from) {
+  switch (packet.kind) {
+    case net::PacketKind::kRreq:
+      handleRreq(packet, from);
+      return;
+    case net::PacketKind::kRres:
+      handleRres(packet);
+      return;
+    case net::PacketKind::kData:
+      handleData(packet);
+      return;
+    default:
+      return;
+  }
+}
+
+void SprRouting::handleRreq(const net::Packet& packet, net::NodeId /*from*/) {
+  RreqMsg msg = RreqMsg::decode(packet.payload);
+  if (msg.path.empty() || !pathIsSimple(msg.path)) return;
+  const std::uint16_t origin = msg.path.front();
+  if (origin == self()) return;
+  if (std::find(msg.path.begin(), msg.path.end(),
+                static_cast<std::uint16_t>(self())) != msg.path.end())
+    return;
+
+  if (isGateway()) {
+    // Step 3.2: the gateway answers with the completed path. Copies are
+    // collected for a short window (the §6.2.2 timeout) so the answer is
+    // the true min-hop path, not merely the first arrival.
+    Path full = msg.path;
+    full.push_back(static_cast<std::uint16_t>(self()));
+    if (params_.gatewayCollectWindow.us <= 0) {
+      if (!seenRreq_.insert(rreqKey(origin, msg.reqId)).second) return;
+      RresMsg res;
+      res.reqId = msg.reqId;
+      res.gateway = static_cast<std::uint16_t>(self());
+      res.path = std::move(full);
+      res.cursor = static_cast<std::uint16_t>(res.path.size() - 2);
+      sendUnicast(res.path[res.cursor],
+                  makePacket(net::PacketKind::kRres, res.path[res.cursor],
+                             res.encode()));
+      return;
+    }
+    const std::uint64_t key = rreqKey(origin, msg.reqId);
+    auto [bucket, first] = collecting_.try_emplace(key);
+    bucket->second.push_back(std::move(full));
+    if (first) {
+      const std::uint32_t reqId = msg.reqId;
+      scheduleAfter(params_.gatewayCollectWindow,
+                    [this, origin, reqId] { gatewayAnswer(origin, reqId); });
+    }
+    return;
+  }
+
+  if (!seenRreq_.insert(rreqKey(origin, msg.reqId)).second) return;
+
+  // Step 3.1: a sensor holding a fresh stored path replies on the gateway's
+  // behalf instead of re-flooding (Property 1 justifies splicing).
+  auto known = knownPaths_.find(routeGateway_);
+  if (params_.answerFromCache && routeFresh() &&
+      known != knownPaths_.end() && known->second.round == round_) {
+    const Path& suffix = known->second.path;  // [self, …, gateway]
+    // Splice only if it stays simple — the query path must not revisit
+    // nodes already on the stored suffix.
+    Path full = msg.path;
+    full.insert(full.end(), suffix.begin(), suffix.end());
+    if (pathIsSimple(full) && full.size() <= params_.maxPathLength) {
+      RresMsg res;
+      res.reqId = msg.reqId;
+      res.gateway = routeGateway_;
+      res.path = std::move(full);
+      res.cursor = static_cast<std::uint16_t>(msg.path.size() - 1);
+      sendUnicast(res.path[res.cursor],
+                  makePacket(net::PacketKind::kRres, res.path[res.cursor],
+                             res.encode()));
+      return;
+    }
+  }
+
+  if (msg.path.size() >= params_.maxPathLength) return;
+  msg.path.push_back(static_cast<std::uint16_t>(self()));
+  sendBroadcastJittered(makePacket(net::PacketKind::kRreq, net::kBroadcastId,
+                                   msg.encode()));
+}
+
+void SprRouting::gatewayAnswer(std::uint16_t origin, std::uint32_t reqId) {
+  auto it = collecting_.find(rreqKey(origin, reqId));
+  if (it == collecting_.end()) return;
+  std::vector<Path> paths = std::move(it->second);
+  collecting_.erase(it);
+  if (paths.empty()) return;
+
+  const Path* best = &paths.front();
+  for (const Path& p : paths)
+    if (p.size() < best->size()) best = &p;
+
+  RresMsg res;
+  res.reqId = reqId;
+  res.gateway = static_cast<std::uint16_t>(self());
+  res.path = *best;
+  res.cursor = static_cast<std::uint16_t>(res.path.size() - 2);
+  sendUnicast(res.path[res.cursor],
+              makePacket(net::PacketKind::kRres, res.path[res.cursor],
+                         res.encode()));
+}
+
+void SprRouting::handleRres(const net::Packet& packet) {
+  RresMsg msg = RresMsg::decode(packet.payload);
+  if (msg.path.size() < 2 || msg.cursor >= msg.path.size()) return;
+  if (msg.path[msg.cursor] != self()) return;
+
+  // "records the corresponding path information in local routing tables"
+  installFromPath(msg.path, msg.cursor, msg.gateway);
+
+  if (msg.cursor == 0) {
+    // Back at the source: collect for step 4.
+    if (queryInFlight_ && msg.reqId == reqId_) responses_.push_back(msg);
+    return;
+  }
+  msg.cursor -= 1;
+  sendUnicast(msg.path[msg.cursor],
+              makePacket(net::PacketKind::kRres, msg.path[msg.cursor],
+                         msg.encode()));
+}
+
+void SprRouting::installFromPath(const Path& path, std::size_t selfIndex,
+                                 std::uint16_t gateway) {
+  WMSN_REQUIRE(path[selfIndex] == self());
+  if (selfIndex + 1 < path.size())
+    nextHopTo_[gateway] = path[selfIndex + 1];
+  StoredRoute stored;
+  stored.path.assign(path.begin() + static_cast<std::ptrdiff_t>(selfIndex),
+                     path.end());
+  stored.round = round_;
+  knownPaths_[gateway] = std::move(stored);
+  if (!isGateway() && !routeFresh()) {
+    // Passing traffic taught us a route — adopt it ("sensor nodes that
+    // locate at an established route do not need to discover routing").
+    route_ = knownPaths_[gateway];
+    routeGateway_ = gateway;
+    routeAnnounced_ = false;
+  }
+}
+
+void SprRouting::handleData(const net::Packet& packet) {
+  DataMsg msg = DataMsg::decode(packet.payload);
+
+  if (isGateway()) {
+    if (msg.gateway == self())
+      reportDelivered(packet.uid, msg.source, packet.hops + 1u);
+    return;
+  }
+
+  net::NodeId nextHop = net::kNoNode;
+  if (!msg.route.empty()) {
+    // First packet of a flow: the source route tells us everything.
+    if (msg.cursor >= msg.route.size() || msg.route[msg.cursor] != self())
+      return;
+    installFromPath(msg.route, msg.cursor, msg.gateway);
+    if (msg.cursor + 1u >= msg.route.size()) return;
+    nextHop = msg.route[msg.cursor + 1];
+    msg.cursor += 1;
+  } else {
+    auto it = nextHopTo_.find(msg.gateway);
+    if (it == nextHopTo_.end()) return;  // no entry — drop (shows in PDR)
+    nextHop = it->second;
+  }
+
+  net::Packet fwd = makePacket(net::PacketKind::kData, nextHop, msg.encode());
+  fwd.uid = packet.uid;
+  fwd.origin = packet.origin;
+  fwd.seq = packet.seq;
+  fwd.finalDst = msg.gateway;
+  fwd.hops = static_cast<std::uint8_t>(packet.hops + 1);
+  sendUnicast(nextHop, std::move(fwd));
+}
+
+}  // namespace wmsn::routing

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "routing/leach.hpp"
+
+namespace wmsn::routing {
+
+struct TeenParams {
+  /// Report only when the sensed value exceeds the hard threshold…
+  double hardThreshold = 40.0;
+  /// …and has moved by at least the soft threshold since the last report
+  /// ("the user can control the trade-off between energy efficiency and
+  /// data accuracy", §2.2.2).
+  double softThreshold = 2.0;
+
+  /// Sensed-value model: a bounded random walk per node (temperature-like).
+  double valueMin = 0.0;
+  double valueMax = 100.0;
+  double valueStart = 35.0;
+  double stepSigma = 4.0;
+};
+
+/// TEEN (§2.2.2, ref [18]): LEACH-style clustering made *reactive* — a node
+/// senses continuously but transmits only when the reading crosses the
+/// hard threshold and has changed by more than the soft threshold since its
+/// last report. Each originate() call is one sensing event; suppressed
+/// events never enter the network (and are not counted as generated
+/// traffic — TEEN's contract is that unremarkable readings are not owed
+/// delivery).
+class TeenRouting final : public LeachRouting {
+ public:
+  TeenRouting(net::SensorNetwork& network, net::NodeId self,
+              const NetworkKnowledge& knowledge, TeenParams teenParams = {},
+              LeachParams leachParams = {});
+
+  std::string name() const override { return "teen"; }
+  void originate(Bytes appPayload) override;
+
+  // Introspection: the energy/accuracy trade-off, measurable.
+  std::uint64_t sensingEvents() const { return sensingEvents_; }
+  std::uint64_t reportsSent() const { return reportsSent_; }
+  double currentValue() const { return value_; }
+
+ private:
+  bool shouldReport() const;
+
+  TeenParams teen_;
+  double value_;
+  double lastReported_ = -1e18;
+  std::uint64_t sensingEvents_ = 0;
+  std::uint64_t reportsSent_ = 0;
+};
+
+}  // namespace wmsn::routing

@@ -1,0 +1,59 @@
+#include "sim/event_queue.hpp"
+
+#include "util/require.hpp"
+
+namespace wmsn::sim {
+
+EventId EventQueue::push(Time time, std::function<void()> action) {
+  WMSN_REQUIRE(action != nullptr);
+  const EventId id = nextId_++;
+  heap_.push(Entry{time, id});
+  actions_.emplace(id, std::move(action));
+  ++liveCount_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = actions_.find(id);
+  if (it == actions_.end()) return false;
+  actions_.erase(it);
+  cancelled_.insert(id);
+  --liveCount_;
+  return true;
+}
+
+void EventQueue::dropCancelledFront() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Time EventQueue::nextTime() {
+  WMSN_REQUIRE(!empty());
+  dropCancelledFront();
+  return heap_.top().time;
+}
+
+EventQueue::Event EventQueue::pop() {
+  WMSN_REQUIRE(!empty());
+  dropCancelledFront();
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(entry.id);
+  Event ev{entry.time, entry.id, std::move(it->second)};
+  actions_.erase(it);
+  --liveCount_;
+  return ev;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  cancelled_.clear();
+  actions_.clear();
+  liveCount_ = 0;
+}
+
+}  // namespace wmsn::sim

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wmsn::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Priority queue of timed callbacks with stable ordering: events at the same
+/// timestamp fire in insertion order (the sequence number breaks ties), so a
+/// simulation never depends on heap-internal ordering. Cancellation is lazy —
+/// cancelled ids are skipped at pop time — which keeps push/pop O(log n).
+class EventQueue {
+ public:
+  struct Event {
+    Time time;
+    EventId id = kInvalidEvent;
+    std::function<void()> action;
+  };
+
+  EventId push(Time time, std::function<void()> action);
+
+  /// Marks an event as cancelled. Returns false if the id was never scheduled
+  /// or already fired/cancelled.
+  bool cancel(EventId id);
+
+  bool empty() const { return liveCount_ == 0; }
+  std::size_t size() const { return liveCount_; }
+
+  /// Time of the earliest live event. Requires !empty().
+  Time nextTime();
+
+  /// Removes and returns the earliest live event. Requires !empty().
+  Event pop();
+
+  void clear();
+
+ private:
+  struct Entry {
+    Time time;
+    EventId id;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;  // ids are issued monotonically → FIFO at same time
+    }
+  };
+
+  void dropCancelledFront();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> cancelled_;
+  // Actions stored separately so cancel() can release the closure promptly.
+  std::unordered_map<EventId, std::function<void()>> actions_;
+  EventId nextId_ = 1;
+  std::size_t liveCount_ = 0;
+};
+
+}  // namespace wmsn::sim

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wmsn::sim {
+
+/// Simulation time in integer microseconds. Integer ticks (not double
+/// seconds) make event ordering exact and runs bit-reproducible.
+struct Time {
+  std::int64_t us = 0;
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time operator+(Time d) const { return Time{us + d.us}; }
+  constexpr Time operator-(Time d) const { return Time{us - d.us}; }
+  constexpr Time& operator+=(Time d) {
+    us += d.us;
+    return *this;
+  }
+
+  constexpr double seconds() const { return static_cast<double>(us) * 1e-6; }
+  constexpr double millis() const { return static_cast<double>(us) * 1e-3; }
+
+  static constexpr Time zero() { return Time{0}; }
+  static constexpr Time microseconds(std::int64_t v) { return Time{v}; }
+  static constexpr Time milliseconds(std::int64_t v) { return Time{v * 1000}; }
+  static constexpr Time seconds(double v) {
+    return Time{static_cast<std::int64_t>(v * 1e6)};
+  }
+};
+
+inline std::string toString(Time t) {
+  return std::to_string(t.seconds()) + "s";
+}
+
+}  // namespace wmsn::sim

@@ -1,0 +1,137 @@
+#include "util/bytes.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/require.hpp"
+
+namespace wmsn {
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f64(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> v) {
+  WMSN_REQUIRE_MSG(v.size() <= 0xffff, "length-prefixed field too long");
+  u16(static_cast<std::uint16_t>(v.size()));
+  raw(v);
+}
+
+void ByteWriter::raw(std::span<const std::uint8_t> v) {
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void ByteWriter::str(const std::string& s) {
+  bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void ByteReader::need(std::size_t n) const {
+  WMSN_REQUIRE_MSG(remaining() >= n, "truncated packet");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+Bytes ByteReader::bytes() {
+  const std::size_t n = u16();
+  return raw(n);
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  need(n);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::str() {
+  const Bytes b = bytes();
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+std::string toHex(std::span<const std::uint8_t> data) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+Bytes fromHex(const std::string& hex) {
+  WMSN_REQUIRE_MSG(hex.size() % 2 == 0, "odd-length hex string");
+  auto nibble = [](char c) -> std::uint8_t {
+    if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
+    if (c >= 'A' && c <= 'F') return static_cast<std::uint8_t>(c - 'A' + 10);
+    throw PreconditionError("invalid hex digit");
+  };
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2)
+    out.push_back(static_cast<std::uint8_t>(nibble(hex[i]) << 4) |
+                  nibble(hex[i + 1]));
+  return out;
+}
+
+bool constantTimeEqual(std::span<const std::uint8_t> a,
+                       std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace wmsn

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wmsn {
+
+/// Raw octet buffer used for every over-the-air payload. Protocol headers are
+/// serialised to bytes (not passed as typed C++ objects) so that (a) packet
+/// sizes feeding the energy model are real, and (b) the SecMLR crypto layer
+/// encrypts/authenticates actual wire bytes.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Little-endian append-only serialiser.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  /// Length-prefixed (u16) byte string.
+  void bytes(std::span<const std::uint8_t> v);
+  /// Raw bytes, no length prefix (caller knows the framing).
+  void raw(std::span<const std::uint8_t> v);
+  void str(const std::string& s);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Little-endian reader over a byte span. Throws PreconditionError on
+/// truncated input — a malformed packet must never read out of bounds.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  Bytes bytes();          ///< length-prefixed counterpart of ByteWriter::bytes
+  Bytes raw(std::size_t n);
+  std::string str();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return remaining() == 0; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void need(std::size_t n) const;
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Hex encoding for diagnostics and test fixtures.
+std::string toHex(std::span<const std::uint8_t> data);
+Bytes fromHex(const std::string& hex);
+
+/// Constant-time comparison (as a real security implementation would use for
+/// MAC verification).
+bool constantTimeEqual(std::span<const std::uint8_t> a,
+                       std::span<const std::uint8_t> b);
+
+}  // namespace wmsn

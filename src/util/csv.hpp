@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wmsn {
+
+/// Minimal RFC-4180-style CSV writer for experiment output. Fields containing
+/// commas, quotes or newlines are quoted.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+
+  std::string str() const;
+  /// Writes the accumulated table to `path`. Throws std::runtime_error on
+  /// I/O failure.
+  void writeFile(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  static std::string escape(const std::string& field);
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wmsn

@@ -1,0 +1,90 @@
+#include "util/random.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace wmsn {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  WMSN_REQUIRE(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t x = next();
+  std::uint64_t threshold = (~span + 1) % span;  // = 2^64 mod span
+  while (x < threshold) x = next();
+  return lo + static_cast<std::int64_t>(x % span);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  WMSN_REQUIRE(n > 0);
+  return static_cast<std::size_t>(
+      uniformInt(0, static_cast<std::int64_t>(n - 1)));
+}
+
+double Rng::uniform01() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  WMSN_REQUIRE(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (hasSpareNormal_) {
+    hasSpareNormal_ = false;
+    return mean + stddev * spareNormal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spareNormal_ = v * factor;
+  hasSpareNormal_ = true;
+  return mean + stddev * u * factor;
+}
+
+double Rng::exponential(double rate) {
+  WMSN_REQUIRE(rate > 0.0);
+  // 1 - uniform01() is in (0, 1], so log() is finite.
+  return -std::log(1.0 - uniform01()) / rate;
+}
+
+Rng Rng::fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace wmsn

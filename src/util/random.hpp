@@ -1,0 +1,87 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace wmsn {
+
+/// splitmix64 — used to expand a single 64-bit seed into the xoshiro state.
+/// Reference: Sebastiano Vigna, public domain.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ — fast, high-quality, deterministic PRNG. All simulation
+/// randomness flows through this engine so experiments reproduce bit-for-bit
+/// across platforms (unlike std::mt19937 + std:: distributions, whose
+/// distribution implementations are not standardised).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform size_t in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Standard normal via Marsaglia polar method (deterministic given state).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Pick a uniformly random element. Requires non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[index(v.size())];
+  }
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool hasSpareNormal_ = false;
+  double spareNormal_ = 0.0;
+};
+
+}  // namespace wmsn

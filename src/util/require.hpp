@@ -1,0 +1,37 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wmsn {
+
+/// Thrown when a documented API precondition is violated. Using an exception
+/// (rather than assert) keeps precondition checks active in release builds and
+/// lets the test suite exercise them.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void requireFailed(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": requirement failed: " + expr +
+                          (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace wmsn
+
+/// Check a precondition; throws wmsn::PreconditionError with location info.
+#define WMSN_REQUIRE(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) ::wmsn::detail::requireFailed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define WMSN_REQUIRE_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::wmsn::detail::requireFailed(#expr, __FILE__, __LINE__, (msg));  \
+  } while (false)

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wmsn {
+
+/// Streaming mean/variance via Welford's algorithm — O(1) memory, numerically
+/// stable, suitable for per-node energy accounting over millions of packets.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divide by n). The paper's D² (eq. 1) is a
+  /// population variance over all sensor nodes.
+  double variancePopulation() const;
+  /// Sample variance (divide by n-1).
+  double varianceSample() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores samples for order statistics (percentiles / median). Use only for
+/// bounded sample counts (latency samples per experiment).
+class SampleStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, p in [0, 100]. Requires nonempty.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  void sortIfNeeded() const;
+};
+
+/// Jain's fairness index: (Σx)² / (n·Σx²); 1.0 = perfectly balanced.
+/// Used for the energy-balance experiment (BALANCE).
+double jainFairness(const std::vector<double>& xs);
+
+}  // namespace wmsn

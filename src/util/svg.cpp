@@ -1,0 +1,138 @@
+#include "util/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/require.hpp"
+
+namespace wmsn {
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+}  // namespace
+
+SvgWriter::SvgWriter(double width, double height, double margin)
+    : width_(width), height_(height), margin_(margin) {
+  WMSN_REQUIRE(width > 0 && height > 0 && margin >= 0);
+}
+
+void SvgWriter::circle(double cx, double cy, double r,
+                       const std::string& fill, const std::string& stroke,
+                       double strokeWidth, double opacity) {
+  std::ostringstream os;
+  os << "<circle cx=\"" << cx << "\" cy=\"" << cy << "\" r=\"" << r
+     << "\" fill=\"" << escape(fill) << "\"";
+  if (stroke != "none")
+    os << " stroke=\"" << escape(stroke) << "\" stroke-width=\""
+       << strokeWidth << "\"";
+  if (opacity < 1.0) os << " opacity=\"" << opacity << "\"";
+  os << "/>";
+  elements_.push_back(os.str());
+}
+
+void SvgWriter::rect(double x, double y, double w, double h,
+                     const std::string& fill, const std::string& stroke,
+                     double strokeWidth) {
+  std::ostringstream os;
+  os << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w
+     << "\" height=\"" << h << "\" fill=\"" << escape(fill) << "\"";
+  if (stroke != "none")
+    os << " stroke=\"" << escape(stroke) << "\" stroke-width=\""
+       << strokeWidth << "\"";
+  os << "/>";
+  elements_.push_back(os.str());
+}
+
+void SvgWriter::line(double x1, double y1, double x2, double y2,
+                     const std::string& stroke, double strokeWidth,
+                     double opacity) {
+  std::ostringstream os;
+  os << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2
+     << "\" y2=\"" << y2 << "\" stroke=\"" << escape(stroke)
+     << "\" stroke-width=\"" << strokeWidth << "\"";
+  if (opacity < 1.0) os << " opacity=\"" << opacity << "\"";
+  os << "/>";
+  elements_.push_back(os.str());
+}
+
+void SvgWriter::text(double x, double y, const std::string& content,
+                     double fontSize, const std::string& fill) {
+  std::ostringstream os;
+  os << "<text x=\"" << x << "\" y=\"" << y << "\" font-size=\"" << fontSize
+     << "\" font-family=\"sans-serif\" fill=\"" << escape(fill) << "\">"
+     << escape(content) << "</text>";
+  elements_.push_back(os.str());
+}
+
+void SvgWriter::cross(double cx, double cy, double arm,
+                      const std::string& stroke, double strokeWidth) {
+  line(cx - arm, cy - arm, cx + arm, cy + arm, stroke, strokeWidth);
+  line(cx - arm, cy + arm, cx + arm, cy - arm, stroke, strokeWidth);
+}
+
+std::string SvgWriter::heatColor(double fraction) {
+  const double f = std::clamp(fraction, 0.0, 1.0);
+  // 0 → green (#2ca25f), 0.5 → yellow (#ffd92f), 1 → red (#d7301f).
+  auto lerp = [](int a, int b, double t) {
+    return static_cast<int>(std::lround(a + (b - a) * t));
+  };
+  int r, g, b;
+  if (f < 0.5) {
+    const double t = f * 2.0;
+    r = lerp(0x2c, 0xff, t);
+    g = lerp(0xa2, 0xd9, t);
+    b = lerp(0x5f, 0x2f, t);
+  } else {
+    const double t = (f - 0.5) * 2.0;
+    r = lerp(0xff, 0xd7, t);
+    g = lerp(0xd9, 0x30, t);
+    b = lerp(0x2f, 0x1f, t);
+  }
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "#%02x%02x%02x", r, g, b);
+  return buf;
+}
+
+std::string SvgWriter::str() const {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+     << "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\""
+     << -margin_ << " " << -margin_ << " " << width_ + 2 * margin_ << " "
+     << height_ + 2 * margin_ << "\">\n"
+     << "<rect x=\"" << -margin_ << "\" y=\"" << -margin_ << "\" width=\""
+     << width_ + 2 * margin_ << "\" height=\"" << height_ + 2 * margin_
+     << "\" fill=\"#fcfcf8\"/>\n";
+  for (const std::string& element : elements_) os << element << "\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+void SvgWriter::writeFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open SVG output file: " + path);
+  out << str();
+  if (!out) throw std::runtime_error("failed writing SVG file: " + path);
+}
+
+}  // namespace wmsn

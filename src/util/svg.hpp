@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wmsn {
+
+/// Minimal SVG document builder — enough to render network topologies and
+/// energy heat maps without any external dependency. Coordinates are in
+/// user units; the viewBox is set from the constructor bounds.
+class SvgWriter {
+ public:
+  SvgWriter(double width, double height, double margin = 20.0);
+
+  void circle(double cx, double cy, double r, const std::string& fill,
+              const std::string& stroke = "none", double strokeWidth = 0.0,
+              double opacity = 1.0);
+  void rect(double x, double y, double w, double h, const std::string& fill,
+            const std::string& stroke = "none", double strokeWidth = 0.0);
+  void line(double x1, double y1, double x2, double y2,
+            const std::string& stroke, double strokeWidth = 1.0,
+            double opacity = 1.0);
+  void text(double x, double y, const std::string& content,
+            double fontSize = 10.0, const std::string& fill = "#333333");
+  /// An X marker (feasible places).
+  void cross(double cx, double cy, double arm, const std::string& stroke,
+             double strokeWidth = 1.5);
+
+  std::string str() const;
+  /// Writes the document to `path`; throws std::runtime_error on failure.
+  void writeFile(const std::string& path) const;
+
+  /// Linear green→yellow→red ramp for fraction in [0,1] (0 = good/green).
+  static std::string heatColor(double fraction);
+
+ private:
+  double width_;
+  double height_;
+  double margin_;
+  std::vector<std::string> elements_;
+};
+
+}  // namespace wmsn

@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace wmsn {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  WMSN_REQUIRE(!header_.empty());
+}
+
+void TextTable::addRow(std::vector<std::string> row) {
+  WMSN_REQUIRE_MSG(row.size() == header_.size(),
+                   "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto line = [&](char fill) {
+    os << '+';
+    for (std::size_t w : width) os << std::string(w + 2, fill) << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << ' ' << row[c] << std::string(width[c] - row[c].size(), ' ')
+         << " |";
+    os << '\n';
+  };
+  line('-');
+  emit(header_);
+  line('=');
+  for (const auto& row : rows_) emit(row);
+  line('-');
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << str(); }
+
+}  // namespace wmsn

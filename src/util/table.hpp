@@ -1,0 +1,37 @@
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wmsn {
+
+/// Aligned ASCII table used by the experiment binaries to print the
+/// paper-shaped tables (Fig. 2 hop counts, Table 1 routing tables, ...).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+  template <std::integral T>
+  static std::string num(T v) {
+    return std::to_string(v);
+  }
+
+  std::string str() const;
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wmsn
