@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_balance.dir/bench_energy_balance.cpp.o"
+  "CMakeFiles/bench_energy_balance.dir/bench_energy_balance.cpp.o.d"
+  "bench_energy_balance"
+  "bench_energy_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gateway_scaling.dir/bench_gateway_scaling.cpp.o"
+  "CMakeFiles/bench_gateway_scaling.dir/bench_gateway_scaling.cpp.o.d"
+  "bench_gateway_scaling"
+  "bench_gateway_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gateway_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mesh_tier.dir/bench_mesh_tier.cpp.o"
+  "CMakeFiles/bench_mesh_tier.dir/bench_mesh_tier.cpp.o.d"
+  "bench_mesh_tier"
+  "bench_mesh_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mesh_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

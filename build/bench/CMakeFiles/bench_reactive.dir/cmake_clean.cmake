@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reactive.dir/bench_reactive.cpp.o"
+  "CMakeFiles/bench_reactive.dir/bench_reactive.cpp.o.d"
+  "bench_reactive"
+  "bench_reactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

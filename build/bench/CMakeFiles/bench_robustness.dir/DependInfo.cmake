@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_robustness.cpp" "bench/CMakeFiles/bench_robustness.dir/bench_robustness.cpp.o" "gcc" "bench/CMakeFiles/bench_robustness.dir/bench_robustness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wmsn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

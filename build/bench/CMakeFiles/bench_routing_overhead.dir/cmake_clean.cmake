@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_routing_overhead.dir/bench_routing_overhead.cpp.o"
+  "CMakeFiles/bench_routing_overhead.dir/bench_routing_overhead.cpp.o.d"
+  "bench_routing_overhead"
+  "bench_routing_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sleep_scaling.dir/bench_sleep_scaling.cpp.o"
+  "CMakeFiles/bench_sleep_scaling.dir/bench_sleep_scaling.cpp.o.d"
+  "bench_sleep_scaling"
+  "bench_sleep_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sleep_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mlr.dir/bench_table1_mlr.cpp.o"
+  "CMakeFiles/bench_table1_mlr.dir/bench_table1_mlr.cpp.o.d"
+  "bench_table1_mlr"
+  "bench_table1_mlr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mlr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

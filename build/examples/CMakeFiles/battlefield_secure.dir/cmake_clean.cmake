@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battlefield_secure.dir/battlefield_secure.cpp.o"
+  "CMakeFiles/battlefield_secure.dir/battlefield_secure.cpp.o.d"
+  "battlefield_secure"
+  "battlefield_secure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battlefield_secure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/building_hvac.dir/building_hvac.cpp.o"
+  "CMakeFiles/building_hvac.dir/building_hvac.cpp.o.d"
+  "building_hvac"
+  "building_hvac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/building_hvac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

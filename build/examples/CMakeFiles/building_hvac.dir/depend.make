@@ -1,0 +1,2 @@
+# Empty dependencies file for building_hvac.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmsn_cli.dir/wmsn_cli.cpp.o"
+  "CMakeFiles/wmsn_cli.dir/wmsn_cli.cpp.o.d"
+  "wmsn_cli"
+  "wmsn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmsn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmsn_attacks.dir/attacks/adversary.cpp.o"
+  "CMakeFiles/wmsn_attacks.dir/attacks/adversary.cpp.o.d"
+  "CMakeFiles/wmsn_attacks.dir/attacks/wormhole.cpp.o"
+  "CMakeFiles/wmsn_attacks.dir/attacks/wormhole.cpp.o.d"
+  "libwmsn_attacks.a"
+  "libwmsn_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmsn_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/builder.cpp" "src/CMakeFiles/wmsn_core.dir/core/builder.cpp.o" "gcc" "src/CMakeFiles/wmsn_core.dir/core/builder.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/wmsn_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/wmsn_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/wmsn_core.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/wmsn_core.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/wmsn_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/wmsn_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/CMakeFiles/wmsn_core.dir/core/placement.cpp.o" "gcc" "src/CMakeFiles/wmsn_core.dir/core/placement.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/wmsn_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/wmsn_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/CMakeFiles/wmsn_core.dir/core/sweep.cpp.o" "gcc" "src/CMakeFiles/wmsn_core.dir/core/sweep.cpp.o.d"
+  "/root/repo/src/core/topology_control.cpp" "src/CMakeFiles/wmsn_core.dir/core/topology_control.cpp.o" "gcc" "src/CMakeFiles/wmsn_core.dir/core/topology_control.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/CMakeFiles/wmsn_core.dir/core/trace.cpp.o" "gcc" "src/CMakeFiles/wmsn_core.dir/core/trace.cpp.o.d"
+  "/root/repo/src/core/viz.cpp" "src/CMakeFiles/wmsn_core.dir/core/viz.cpp.o" "gcc" "src/CMakeFiles/wmsn_core.dir/core/viz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wmsn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_attacks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

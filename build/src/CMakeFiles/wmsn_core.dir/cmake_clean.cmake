@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmsn_core.dir/core/builder.cpp.o"
+  "CMakeFiles/wmsn_core.dir/core/builder.cpp.o.d"
+  "CMakeFiles/wmsn_core.dir/core/config.cpp.o"
+  "CMakeFiles/wmsn_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/wmsn_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/wmsn_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/wmsn_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/wmsn_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/wmsn_core.dir/core/placement.cpp.o"
+  "CMakeFiles/wmsn_core.dir/core/placement.cpp.o.d"
+  "CMakeFiles/wmsn_core.dir/core/report.cpp.o"
+  "CMakeFiles/wmsn_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/wmsn_core.dir/core/sweep.cpp.o"
+  "CMakeFiles/wmsn_core.dir/core/sweep.cpp.o.d"
+  "CMakeFiles/wmsn_core.dir/core/topology_control.cpp.o"
+  "CMakeFiles/wmsn_core.dir/core/topology_control.cpp.o.d"
+  "CMakeFiles/wmsn_core.dir/core/trace.cpp.o"
+  "CMakeFiles/wmsn_core.dir/core/trace.cpp.o.d"
+  "CMakeFiles/wmsn_core.dir/core/viz.cpp.o"
+  "CMakeFiles/wmsn_core.dir/core/viz.cpp.o.d"
+  "libwmsn_core.a"
+  "libwmsn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmsn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

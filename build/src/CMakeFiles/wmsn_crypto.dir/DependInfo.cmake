@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/ctr.cpp" "src/CMakeFiles/wmsn_crypto.dir/crypto/ctr.cpp.o" "gcc" "src/CMakeFiles/wmsn_crypto.dir/crypto/ctr.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/wmsn_crypto.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/wmsn_crypto.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/keystore.cpp" "src/CMakeFiles/wmsn_crypto.dir/crypto/keystore.cpp.o" "gcc" "src/CMakeFiles/wmsn_crypto.dir/crypto/keystore.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/wmsn_crypto.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/wmsn_crypto.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/speck.cpp" "src/CMakeFiles/wmsn_crypto.dir/crypto/speck.cpp.o" "gcc" "src/CMakeFiles/wmsn_crypto.dir/crypto/speck.cpp.o.d"
+  "/root/repo/src/crypto/tesla.cpp" "src/CMakeFiles/wmsn_crypto.dir/crypto/tesla.cpp.o" "gcc" "src/CMakeFiles/wmsn_crypto.dir/crypto/tesla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wmsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

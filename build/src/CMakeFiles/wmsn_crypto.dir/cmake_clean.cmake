@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmsn_crypto.dir/crypto/ctr.cpp.o"
+  "CMakeFiles/wmsn_crypto.dir/crypto/ctr.cpp.o.d"
+  "CMakeFiles/wmsn_crypto.dir/crypto/hmac.cpp.o"
+  "CMakeFiles/wmsn_crypto.dir/crypto/hmac.cpp.o.d"
+  "CMakeFiles/wmsn_crypto.dir/crypto/keystore.cpp.o"
+  "CMakeFiles/wmsn_crypto.dir/crypto/keystore.cpp.o.d"
+  "CMakeFiles/wmsn_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/wmsn_crypto.dir/crypto/sha256.cpp.o.d"
+  "CMakeFiles/wmsn_crypto.dir/crypto/speck.cpp.o"
+  "CMakeFiles/wmsn_crypto.dir/crypto/speck.cpp.o.d"
+  "CMakeFiles/wmsn_crypto.dir/crypto/tesla.cpp.o"
+  "CMakeFiles/wmsn_crypto.dir/crypto/tesla.cpp.o.d"
+  "libwmsn_crypto.a"
+  "libwmsn_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmsn_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

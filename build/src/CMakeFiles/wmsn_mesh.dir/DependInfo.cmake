@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/mesh_network.cpp" "src/CMakeFiles/wmsn_mesh.dir/mesh/mesh_network.cpp.o" "gcc" "src/CMakeFiles/wmsn_mesh.dir/mesh/mesh_network.cpp.o.d"
+  "/root/repo/src/mesh/mesh_routing.cpp" "src/CMakeFiles/wmsn_mesh.dir/mesh/mesh_routing.cpp.o" "gcc" "src/CMakeFiles/wmsn_mesh.dir/mesh/mesh_routing.cpp.o.d"
+  "/root/repo/src/mesh/mesh_topology.cpp" "src/CMakeFiles/wmsn_mesh.dir/mesh/mesh_topology.cpp.o" "gcc" "src/CMakeFiles/wmsn_mesh.dir/mesh/mesh_topology.cpp.o.d"
+  "/root/repo/src/mesh/wmsn_stack.cpp" "src/CMakeFiles/wmsn_mesh.dir/mesh/wmsn_stack.cpp.o" "gcc" "src/CMakeFiles/wmsn_mesh.dir/mesh/wmsn_stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wmsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmsn_mesh.dir/mesh/mesh_network.cpp.o"
+  "CMakeFiles/wmsn_mesh.dir/mesh/mesh_network.cpp.o.d"
+  "CMakeFiles/wmsn_mesh.dir/mesh/mesh_routing.cpp.o"
+  "CMakeFiles/wmsn_mesh.dir/mesh/mesh_routing.cpp.o.d"
+  "CMakeFiles/wmsn_mesh.dir/mesh/mesh_topology.cpp.o"
+  "CMakeFiles/wmsn_mesh.dir/mesh/mesh_topology.cpp.o.d"
+  "CMakeFiles/wmsn_mesh.dir/mesh/wmsn_stack.cpp.o"
+  "CMakeFiles/wmsn_mesh.dir/mesh/wmsn_stack.cpp.o.d"
+  "libwmsn_mesh.a"
+  "libwmsn_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmsn_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/deployment.cpp" "src/CMakeFiles/wmsn_net.dir/net/deployment.cpp.o" "gcc" "src/CMakeFiles/wmsn_net.dir/net/deployment.cpp.o.d"
+  "/root/repo/src/net/energy.cpp" "src/CMakeFiles/wmsn_net.dir/net/energy.cpp.o" "gcc" "src/CMakeFiles/wmsn_net.dir/net/energy.cpp.o.d"
+  "/root/repo/src/net/mac.cpp" "src/CMakeFiles/wmsn_net.dir/net/mac.cpp.o" "gcc" "src/CMakeFiles/wmsn_net.dir/net/mac.cpp.o.d"
+  "/root/repo/src/net/medium.cpp" "src/CMakeFiles/wmsn_net.dir/net/medium.cpp.o" "gcc" "src/CMakeFiles/wmsn_net.dir/net/medium.cpp.o.d"
+  "/root/repo/src/net/metrics.cpp" "src/CMakeFiles/wmsn_net.dir/net/metrics.cpp.o" "gcc" "src/CMakeFiles/wmsn_net.dir/net/metrics.cpp.o.d"
+  "/root/repo/src/net/mobility.cpp" "src/CMakeFiles/wmsn_net.dir/net/mobility.cpp.o" "gcc" "src/CMakeFiles/wmsn_net.dir/net/mobility.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/wmsn_net.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/wmsn_net.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/wmsn_net.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/wmsn_net.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/radio.cpp" "src/CMakeFiles/wmsn_net.dir/net/radio.cpp.o" "gcc" "src/CMakeFiles/wmsn_net.dir/net/radio.cpp.o.d"
+  "/root/repo/src/net/sensor_network.cpp" "src/CMakeFiles/wmsn_net.dir/net/sensor_network.cpp.o" "gcc" "src/CMakeFiles/wmsn_net.dir/net/sensor_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wmsn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

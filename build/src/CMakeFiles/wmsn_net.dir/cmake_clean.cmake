@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmsn_net.dir/net/deployment.cpp.o"
+  "CMakeFiles/wmsn_net.dir/net/deployment.cpp.o.d"
+  "CMakeFiles/wmsn_net.dir/net/energy.cpp.o"
+  "CMakeFiles/wmsn_net.dir/net/energy.cpp.o.d"
+  "CMakeFiles/wmsn_net.dir/net/mac.cpp.o"
+  "CMakeFiles/wmsn_net.dir/net/mac.cpp.o.d"
+  "CMakeFiles/wmsn_net.dir/net/medium.cpp.o"
+  "CMakeFiles/wmsn_net.dir/net/medium.cpp.o.d"
+  "CMakeFiles/wmsn_net.dir/net/metrics.cpp.o"
+  "CMakeFiles/wmsn_net.dir/net/metrics.cpp.o.d"
+  "CMakeFiles/wmsn_net.dir/net/mobility.cpp.o"
+  "CMakeFiles/wmsn_net.dir/net/mobility.cpp.o.d"
+  "CMakeFiles/wmsn_net.dir/net/node.cpp.o"
+  "CMakeFiles/wmsn_net.dir/net/node.cpp.o.d"
+  "CMakeFiles/wmsn_net.dir/net/packet.cpp.o"
+  "CMakeFiles/wmsn_net.dir/net/packet.cpp.o.d"
+  "CMakeFiles/wmsn_net.dir/net/radio.cpp.o"
+  "CMakeFiles/wmsn_net.dir/net/radio.cpp.o.d"
+  "CMakeFiles/wmsn_net.dir/net/sensor_network.cpp.o"
+  "CMakeFiles/wmsn_net.dir/net/sensor_network.cpp.o.d"
+  "libwmsn_net.a"
+  "libwmsn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmsn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/diffusion.cpp" "src/CMakeFiles/wmsn_routing.dir/routing/diffusion.cpp.o" "gcc" "src/CMakeFiles/wmsn_routing.dir/routing/diffusion.cpp.o.d"
+  "/root/repo/src/routing/flooding.cpp" "src/CMakeFiles/wmsn_routing.dir/routing/flooding.cpp.o" "gcc" "src/CMakeFiles/wmsn_routing.dir/routing/flooding.cpp.o.d"
+  "/root/repo/src/routing/leach.cpp" "src/CMakeFiles/wmsn_routing.dir/routing/leach.cpp.o" "gcc" "src/CMakeFiles/wmsn_routing.dir/routing/leach.cpp.o.d"
+  "/root/repo/src/routing/messages.cpp" "src/CMakeFiles/wmsn_routing.dir/routing/messages.cpp.o" "gcc" "src/CMakeFiles/wmsn_routing.dir/routing/messages.cpp.o.d"
+  "/root/repo/src/routing/mlr.cpp" "src/CMakeFiles/wmsn_routing.dir/routing/mlr.cpp.o" "gcc" "src/CMakeFiles/wmsn_routing.dir/routing/mlr.cpp.o.d"
+  "/root/repo/src/routing/pegasis.cpp" "src/CMakeFiles/wmsn_routing.dir/routing/pegasis.cpp.o" "gcc" "src/CMakeFiles/wmsn_routing.dir/routing/pegasis.cpp.o.d"
+  "/root/repo/src/routing/protocol.cpp" "src/CMakeFiles/wmsn_routing.dir/routing/protocol.cpp.o" "gcc" "src/CMakeFiles/wmsn_routing.dir/routing/protocol.cpp.o.d"
+  "/root/repo/src/routing/secmlr.cpp" "src/CMakeFiles/wmsn_routing.dir/routing/secmlr.cpp.o" "gcc" "src/CMakeFiles/wmsn_routing.dir/routing/secmlr.cpp.o.d"
+  "/root/repo/src/routing/single_sink.cpp" "src/CMakeFiles/wmsn_routing.dir/routing/single_sink.cpp.o" "gcc" "src/CMakeFiles/wmsn_routing.dir/routing/single_sink.cpp.o.d"
+  "/root/repo/src/routing/spin.cpp" "src/CMakeFiles/wmsn_routing.dir/routing/spin.cpp.o" "gcc" "src/CMakeFiles/wmsn_routing.dir/routing/spin.cpp.o.d"
+  "/root/repo/src/routing/spr.cpp" "src/CMakeFiles/wmsn_routing.dir/routing/spr.cpp.o" "gcc" "src/CMakeFiles/wmsn_routing.dir/routing/spr.cpp.o.d"
+  "/root/repo/src/routing/teen.cpp" "src/CMakeFiles/wmsn_routing.dir/routing/teen.cpp.o" "gcc" "src/CMakeFiles/wmsn_routing.dir/routing/teen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wmsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wmsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmsn_routing.dir/routing/diffusion.cpp.o"
+  "CMakeFiles/wmsn_routing.dir/routing/diffusion.cpp.o.d"
+  "CMakeFiles/wmsn_routing.dir/routing/flooding.cpp.o"
+  "CMakeFiles/wmsn_routing.dir/routing/flooding.cpp.o.d"
+  "CMakeFiles/wmsn_routing.dir/routing/leach.cpp.o"
+  "CMakeFiles/wmsn_routing.dir/routing/leach.cpp.o.d"
+  "CMakeFiles/wmsn_routing.dir/routing/messages.cpp.o"
+  "CMakeFiles/wmsn_routing.dir/routing/messages.cpp.o.d"
+  "CMakeFiles/wmsn_routing.dir/routing/mlr.cpp.o"
+  "CMakeFiles/wmsn_routing.dir/routing/mlr.cpp.o.d"
+  "CMakeFiles/wmsn_routing.dir/routing/pegasis.cpp.o"
+  "CMakeFiles/wmsn_routing.dir/routing/pegasis.cpp.o.d"
+  "CMakeFiles/wmsn_routing.dir/routing/protocol.cpp.o"
+  "CMakeFiles/wmsn_routing.dir/routing/protocol.cpp.o.d"
+  "CMakeFiles/wmsn_routing.dir/routing/secmlr.cpp.o"
+  "CMakeFiles/wmsn_routing.dir/routing/secmlr.cpp.o.d"
+  "CMakeFiles/wmsn_routing.dir/routing/single_sink.cpp.o"
+  "CMakeFiles/wmsn_routing.dir/routing/single_sink.cpp.o.d"
+  "CMakeFiles/wmsn_routing.dir/routing/spin.cpp.o"
+  "CMakeFiles/wmsn_routing.dir/routing/spin.cpp.o.d"
+  "CMakeFiles/wmsn_routing.dir/routing/spr.cpp.o"
+  "CMakeFiles/wmsn_routing.dir/routing/spr.cpp.o.d"
+  "CMakeFiles/wmsn_routing.dir/routing/teen.cpp.o"
+  "CMakeFiles/wmsn_routing.dir/routing/teen.cpp.o.d"
+  "libwmsn_routing.a"
+  "libwmsn_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmsn_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

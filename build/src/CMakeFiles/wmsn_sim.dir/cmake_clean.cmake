@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmsn_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/wmsn_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/wmsn_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/wmsn_sim.dir/sim/simulator.cpp.o.d"
+  "libwmsn_sim.a"
+  "libwmsn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmsn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

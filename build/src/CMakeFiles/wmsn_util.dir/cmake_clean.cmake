@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmsn_util.dir/util/bytes.cpp.o"
+  "CMakeFiles/wmsn_util.dir/util/bytes.cpp.o.d"
+  "CMakeFiles/wmsn_util.dir/util/csv.cpp.o"
+  "CMakeFiles/wmsn_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/wmsn_util.dir/util/random.cpp.o"
+  "CMakeFiles/wmsn_util.dir/util/random.cpp.o.d"
+  "CMakeFiles/wmsn_util.dir/util/stats.cpp.o"
+  "CMakeFiles/wmsn_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/wmsn_util.dir/util/svg.cpp.o"
+  "CMakeFiles/wmsn_util.dir/util/svg.cpp.o.d"
+  "CMakeFiles/wmsn_util.dir/util/table.cpp.o"
+  "CMakeFiles/wmsn_util.dir/util/table.cpp.o.d"
+  "libwmsn_util.a"
+  "libwmsn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmsn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

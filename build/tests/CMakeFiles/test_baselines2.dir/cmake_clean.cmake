@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines2.dir/baselines2_test.cpp.o"
+  "CMakeFiles/test_baselines2.dir/baselines2_test.cpp.o.d"
+  "test_baselines2"
+  "test_baselines2.pdb"
+  "test_baselines2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flat_baselines.dir/flat_baselines_test.cpp.o"
+  "CMakeFiles/test_flat_baselines.dir/flat_baselines_test.cpp.o.d"
+  "test_flat_baselines"
+  "test_flat_baselines.pdb"
+  "test_flat_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flat_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_secmlr.dir/secmlr_test.cpp.o"
+  "CMakeFiles/test_secmlr.dir/secmlr_test.cpp.o.d"
+  "test_secmlr"
+  "test_secmlr.pdb"
+  "test_secmlr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_secmlr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_viz_trace.dir/viz_trace_test.cpp.o"
+  "CMakeFiles/test_viz_trace.dir/viz_trace_test.cpp.o.d"
+  "test_viz_trace"
+  "test_viz_trace.pdb"
+  "test_viz_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_viz_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
