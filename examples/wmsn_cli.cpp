@@ -55,6 +55,12 @@ void usage() {
       "  --rounds <r>          rounds to run                (default 10)\n"
       "  --packets <t>         packets/sensor/round         (default 2)\n"
       "  --seed <s>            RNG seed                     (default 1)\n"
+      "  --repeat <k>          run k consecutive seeds, report each + mean\n"
+      "  --threads <n>         worker threads for --repeat  (default: cores)\n"
+      "  --workload <kind>     legacy|periodic|poisson|burst (default legacy)\n"
+      "  --rate <pps>          offered pkt/s/sensor (periodic/poisson)\n"
+      "  --queue <cap>         finite MAC transmit queue capacity (0 = off)\n"
+      "  --queue-policy <p>    drop-tail|drop-oldest        (default drop-tail)\n"
       "  --deployment <kind>   uniform|grid|clustered       (default uniform)\n"
       "  --static              gateways do not move\n"
       "  --plan                §4.1 planner picks gateway places\n"
@@ -79,6 +85,8 @@ int main(int argc, char** argv) {
   cfg.attackerCount = 3;
   std::string svgPath;
   std::string tracePath;
+  unsigned repeat = 1;
+  unsigned threads = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -142,6 +150,43 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--seed") {
       cfg.seed = std::stoull(next());
+    } else if (arg == "--repeat") {
+      repeat = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--workload") {
+      const std::string name = next();
+      if (name == "legacy")
+        cfg.workload.kind = workload::WorkloadKind::kLegacyRounds;
+      else if (name == "periodic")
+        cfg.workload.kind = workload::WorkloadKind::kPeriodic;
+      else if (name == "poisson")
+        cfg.workload.kind = workload::WorkloadKind::kPoisson;
+      else if (name == "burst")
+        cfg.workload.kind = workload::WorkloadKind::kBurst;
+      else {
+        std::cerr << "unknown workload: " << name << "\n";
+        return 2;
+      }
+    } else if (arg == "--rate") {
+      cfg.workload.ratePerSensor = std::stod(next());
+    } else if (arg == "--queue") {
+      const long cap = std::stol(next());
+      if (cap < 0) {
+        std::cerr << "queue capacity must be >= 0\n";
+        return 2;
+      }
+      cfg.macQueue.capacity = static_cast<std::size_t>(cap);
+    } else if (arg == "--queue-policy") {
+      const std::string name = next();
+      if (name == "drop-tail")
+        cfg.macQueue.policy = net::QueuePolicy::kDropTail;
+      else if (name == "drop-oldest")
+        cfg.macQueue.policy = net::QueuePolicy::kDropOldest;
+      else {
+        std::cerr << "unknown queue policy: " << name << "\n";
+        return 2;
+      }
     } else if (arg == "--attackers") {
       cfg.attackerCount = std::stoul(next());
     } else if (arg == "--static") {
@@ -170,6 +215,41 @@ int main(int argc, char** argv) {
 
   try {
     cfg.validate();
+    if (repeat > 1) {
+      // Multi-seed capacity sweep: k independent runs fan out over the
+      // thread pool; the table reports each seed plus the mean.
+      std::vector<core::ScenarioConfig> configs;
+      std::vector<std::string> labels;
+      for (unsigned k = 0; k < repeat; ++k) {
+        configs.push_back(cfg);
+        configs.back().seed = cfg.seed + k;
+        labels.push_back("seed " + std::to_string(cfg.seed + k));
+      }
+      const auto results = core::runScenariosParallel(configs, threads);
+      for (const auto& r : results) std::cout << core::summaryLine(r) << "\n";
+      std::cout << "\n";
+      core::printSection(std::cout,
+                         "per-seed results (" + std::to_string(repeat) +
+                             " runs, workload " +
+                             workload::toString(cfg.workload.kind) + ")",
+                         core::comparisonTable(results, labels));
+      if (cfg.macQueue.capacity > 0 ||
+          cfg.workload.kind != workload::WorkloadKind::kLegacyRounds)
+        core::printSection(std::cout, "congestion",
+                           core::congestionTable(results, labels));
+      std::cout << "mean PDR " << std::fixed
+                << core::meanOver(results,
+                                  [](const core::RunResult& r) {
+                                    return r.deliveryRatio;
+                                  })
+                << ", mean queue drops "
+                << core::meanOver(results,
+                                  [](const core::RunResult& r) {
+                                    return static_cast<double>(r.queueDrops);
+                                  })
+                << "\n";
+      return 0;
+    }
     auto scenario = core::buildScenario(cfg);
     core::TraceLogger trace;
     if (!tracePath.empty()) trace.attach(*scenario);
@@ -187,6 +267,10 @@ int main(int argc, char** argv) {
     std::cout << core::summaryLine(result) << "\n\n";
     core::printSection(std::cout, "result",
                        core::comparisonTable({result}));
+    if (cfg.macQueue.capacity > 0 ||
+        cfg.workload.kind != workload::WorkloadKind::kLegacyRounds)
+      core::printSection(std::cout, "congestion",
+                         core::congestionTable({result}));
     if (!result.perGatewayDeliveries.empty())
       core::printSection(std::cout, "per-gateway load",
                          core::gatewayLoadTable(result));

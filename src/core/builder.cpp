@@ -114,6 +114,7 @@ std::unique_ptr<Scenario> assemble(const ScenarioConfig& config,
   netParams.energy = cfg.energy;
   netParams.medium = cfg.medium;
   netParams.mac = cfg.mac;
+  netParams.queue = cfg.macQueue;
   netParams.gatewaysBatteryLimited = cfg.gatewaysBatteryLimited;
   netParams.seed = cfg.seed ^ 0x5eed;
   // On an ideal contention-free channel forwarding jitter serves no purpose

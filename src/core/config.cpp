@@ -50,6 +50,21 @@ void ScenarioConfig::validate() const {
     WMSN_REQUIRE_MSG(protocol == ProtocolKind::kMlr ||
                          protocol == ProtocolKind::kSecMlr,
                      "attacks target MLR/SecMLR networks");
+  if (workload.kind == workload::WorkloadKind::kPeriodic ||
+      workload.kind == workload::WorkloadKind::kPoisson)
+    WMSN_REQUIRE_MSG(workload.ratePerSensor > 0.0,
+                     "workload ratePerSensor must be positive");
+  if (workload.kind == workload::WorkloadKind::kBurst) {
+    WMSN_REQUIRE_MSG(workload.burst.frontSpeed > 0.0, "burst frontSpeed");
+    WMSN_REQUIRE_MSG(workload.burst.radius > 0.0, "burst radius");
+    WMSN_REQUIRE_MSG(workload.burst.reportInterval > 0.0,
+                     "burst reportInterval");
+    WMSN_REQUIRE_MSG(workload.burst.backgroundRate >= 0.0,
+                     "burst backgroundRate");
+  }
+  if (macQueue.capacity > 0)
+    WMSN_REQUIRE_MSG(mac == net::MacKind::kCsma,
+                     "finite MAC queues require the CSMA MAC");
   if (sleep.enabled)
     WMSN_REQUIRE_MSG(protocol == ProtocolKind::kMlr,
                      "sleep scheduling requires MLR's delegation support "

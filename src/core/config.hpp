@@ -19,6 +19,7 @@
 #include "routing/secmlr.hpp"
 #include "routing/single_sink.hpp"
 #include "routing/spr.hpp"
+#include "workload/workload.hpp"
 
 namespace wmsn::core {
 
@@ -97,6 +98,17 @@ struct ScenarioConfig {
   sim::Time trafficStart = sim::Time::seconds(4.0);
   /// Extra simulated time after the last round so in-flight frames land.
   sim::Time drainGrace = sim::Time::seconds(2.0);
+
+  // --- workload engine ---------------------------------------------------------
+  /// Traffic process driving the application layer. The default
+  /// (kLegacyRounds) reproduces the original per-round scheduling exactly;
+  /// the other kinds (periodic/Poisson/burst) are the offered-load axis of
+  /// the capacity experiments.
+  workload::WorkloadConfig workload;
+  /// Finite per-node MAC transmit queue. capacity 0 (default) keeps the
+  /// legacy unbounded behaviour; capacity > 0 enables congestion drops and
+  /// queue-depth accounting (CSMA MAC only).
+  net::QueueParams macQueue;
 
   // --- physical layer -----------------------------------------------------------
   net::EnergyParams energy;

@@ -12,6 +12,7 @@ namespace wmsn::core {
 /// Everything a bench or test wants to know after a run.
 struct RunResult {
   std::string protocol;
+  std::string workload;  ///< traffic-generator name ("legacy-rounds", …)
   std::uint32_t roundsCompleted = 0;
 
   // Lifetime (§5.3: time until the first sensor drains its energy).
@@ -34,6 +35,14 @@ struct RunResult {
   std::uint64_t collisions = 0;
   std::uint64_t duplicateDeliveries = 0;
   std::map<net::NodeId, std::uint64_t> perGatewayDeliveries;
+
+  // Congestion (workload engine: finite MAC queues, offered-load runs).
+  std::uint64_t macDrops = 0;        ///< CSMA channel-access give-ups
+  std::uint64_t queueDrops = 0;      ///< finite-transmit-queue overflows
+  std::size_t peakQueueDepth = 0;    ///< deepest queue seen on any node
+  double meanQueueDepth = 0.0;       ///< time-weighted mean over all nodes
+  double offeredPps = 0.0;           ///< generated readings / sim second
+  double goodputPps = 0.0;           ///< delivered readings / sim second
 
   // Energy.
   EnergySummary sensorEnergy;
@@ -73,6 +82,7 @@ class Experiment {
 
   Scenario& scenario_;
   Rng trafficRng_;
+  std::unique_ptr<workload::TrafficGenerator> generator_;
   RoundObserver observer_;
 };
 

@@ -41,6 +41,23 @@ TextTable comparisonTable(const std::vector<RunResult>& results,
   return table;
 }
 
+TextTable congestionTable(const std::vector<RunResult>& results,
+                          const std::vector<std::string>& labels) {
+  TextTable table({"run", "workload", "offered pps", "goodput pps", "PDR",
+                   "queue drops", "mac drops", "peak queue", "mean queue"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    const std::string label = i < labels.size() ? labels[i] : r.protocol;
+    table.addRow({label, r.workload, TextTable::num(r.offeredPps, 2),
+                  TextTable::num(r.goodputPps, 2),
+                  TextTable::num(r.deliveryRatio, 3),
+                  TextTable::num(r.queueDrops), TextTable::num(r.macDrops),
+                  TextTable::num(static_cast<std::uint64_t>(r.peakQueueDepth)),
+                  TextTable::num(r.meanQueueDepth, 3)});
+  }
+  return table;
+}
+
 TextTable gatewayLoadTable(const RunResult& result) {
   TextTable table({"gateway", "deliveries", "share %"});
   const double total = static_cast<double>(result.delivered);

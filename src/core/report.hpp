@@ -20,6 +20,11 @@ TextTable comparisonTable(const std::vector<RunResult>& results,
 /// Per-gateway delivery share — the load-balance view (§4.3).
 TextTable gatewayLoadTable(const RunResult& result);
 
+/// Congestion view of one or more runs: offered load vs goodput, queue
+/// drops and queue depths (the workload engine's capacity metrics).
+TextTable congestionTable(const std::vector<RunResult>& results,
+                          const std::vector<std::string>& labels = {});
+
 /// Prints a titled table to `os` with a blank line after it.
 void printSection(std::ostream& os, const std::string& title,
                   const TextTable& table);

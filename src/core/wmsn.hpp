@@ -25,3 +25,4 @@
 #include "core/trace.hpp"
 #include "core/viz.hpp"
 #include "mesh/wmsn_stack.hpp"
+#include "workload/workload.hpp"

@@ -4,15 +4,53 @@
 
 namespace wmsn::net {
 
+std::string toString(QueuePolicy policy) {
+  switch (policy) {
+    case QueuePolicy::kDropTail: return "drop-tail";
+    case QueuePolicy::kDropOldest: return "drop-oldest";
+  }
+  return "unknown";
+}
+
 CsmaMac::CsmaMac(Medium& medium, sim::Simulator& simulator, NodeId self,
-                 Rng rng, CsmaParams params)
+                 Rng rng, CsmaParams params, QueueParams queue,
+                 TrafficStats* stats)
     : medium_(medium),
       simulator_(simulator),
       self_(self),
       rng_(rng),
-      params_(params) {}
+      params_(params),
+      queue_(queue),
+      stats_(stats) {}
 
 void CsmaMac::send(Packet packet) {
+  if (queue_.capacity == 0) {
+    // Legacy discipline: every frame contends independently; nothing ever
+    // waits behind another frame and nothing is dropped for buffer space.
+    serve(std::move(packet));
+    return;
+  }
+  if (!busy_) {
+    busy_ = true;
+    serve(std::move(packet));
+    return;
+  }
+  if (waiting_.size() >= queue_.capacity) {
+    ++queueDrops_;
+    if (stats_) stats_->onQueueDrop();
+    if (queue_.policy == QueuePolicy::kDropTail) return;
+    // Drop-oldest: the stalest waiting frame makes room for the newcomer
+    // (sensing data ages fast; fresh readings matter more).
+    waiting_.pop_front();
+    waiting_.push_back(std::move(packet));
+    return;  // depth unchanged — no integral update needed
+  }
+  noteDepthChange();
+  waiting_.push_back(std::move(packet));
+  peakDepth_ = std::max(peakDepth_, waiting_.size());
+}
+
+void CsmaMac::serve(Packet packet) {
   // Initial random jitter de-synchronises nodes that react to the same
   // broadcast (e.g. a flood) in the same event — otherwise they would all
   // sense an idle channel simultaneously and collide deterministically.
@@ -24,11 +62,18 @@ void CsmaMac::send(Packet packet) {
 
 void CsmaMac::attempt(Packet packet, std::uint32_t tries) {
   if (!medium_.channelBusy(self_)) {
+    const sim::Time air = medium_.airTime(packet);
     medium_.transmit(self_, std::move(packet));
+    // With a finite queue the MAC is half-duplex: the next waiting frame
+    // starts contending only after this one's air time elapses.
+    if (queue_.capacity > 0)
+      simulator_.schedule(air, [this] { serveNext(); });
     return;
   }
   if (tries + 1 >= params_.maxAttempts) {
     ++drops_;
+    if (stats_) stats_->onMacDrop();
+    if (queue_.capacity > 0) serveNext();
     return;
   }
   const std::uint32_t be = std::min(params_.minBackoffExponent + tries,
@@ -37,6 +82,29 @@ void CsmaMac::attempt(Packet packet, std::uint32_t tries) {
   simulator_.schedule(
       sim::Time::microseconds(slots * params_.backoffUnit.us),
       [this, packet = std::move(packet), tries] { attempt(packet, tries + 1); });
+}
+
+void CsmaMac::serveNext() {
+  if (waiting_.empty()) {
+    busy_ = false;
+    return;
+  }
+  noteDepthChange();
+  Packet next = std::move(waiting_.front());
+  waiting_.pop_front();
+  serve(std::move(next));
+}
+
+void CsmaMac::noteDepthChange() {
+  const sim::Time now = simulator_.now();
+  depthIntegral_ += static_cast<double>(waiting_.size()) *
+                    (now - lastDepthChange_).seconds();
+  lastDepthChange_ = now;
+}
+
+double CsmaMac::queueDepthIntegral(sim::Time now) const {
+  return depthIntegral_ + static_cast<double>(waiting_.size()) *
+                              (now - lastDepthChange_).seconds();
 }
 
 }  // namespace wmsn::net

@@ -28,6 +28,9 @@ class TrafficStats {
   void onTransmit(PacketKind kind, std::size_t bytes);
 
   void onMacDrop() { ++macDrops_; }
+  /// A frame was rejected or evicted by a full finite transmit queue — the
+  /// congestion-loss signal of the workload engine's capacity experiments.
+  void onQueueDrop() { ++queueDrops_; }
   void onCollision() { ++collisions_; }
 
   std::uint64_t generated() const { return generated_; }
@@ -39,6 +42,7 @@ class TrafficStats {
   std::uint64_t controlBytes() const { return controlBytes_; }
   std::uint64_t dataBytes() const { return dataBytes_; }
   std::uint64_t macDrops() const { return macDrops_; }
+  std::uint64_t queueDrops() const { return queueDrops_; }
   std::uint64_t collisions() const { return collisions_; }
   /// Deliveries of an already-delivered uid — what a replay attack inflates
   /// when the protocol lacks freshness counters.
@@ -77,6 +81,7 @@ class TrafficStats {
   std::uint64_t controlBytes_ = 0;
   std::uint64_t dataBytes_ = 0;
   std::uint64_t macDrops_ = 0;
+  std::uint64_t queueDrops_ = 0;
   std::uint64_t collisions_ = 0;
   std::uint64_t duplicateDeliveries_ = 0;
   std::unordered_map<std::uint64_t, sim::Time> genTime_;

@@ -49,6 +49,7 @@ class Node {
 
   void setMac(std::unique_ptr<Mac> mac) { mac_ = std::move(mac); }
   Mac& mac() { return *mac_; }
+  const Mac& mac() const { return *mac_; }
 
   void setReceiveHandler(ReceiveHandler handler) {
     receiveHandler_ = std::move(handler);

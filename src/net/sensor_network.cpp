@@ -31,7 +31,8 @@ NodeId SensorNetwork::addNode(NodeKind kind, Point position) {
       break;
     case MacKind::kCsma:
       node->setMac(std::make_unique<CsmaMac>(*medium_, simulator_, id,
-                                             rng_.fork(), params_.csma));
+                                             rng_.fork(), params_.csma,
+                                             params_.queue, &stats_));
       break;
   }
   nodes_.push_back(std::move(node));

@@ -19,6 +19,9 @@ struct SensorNetworkParams {
   MediumParams medium;
   MacKind mac = MacKind::kCsma;
   CsmaParams csma;
+  /// Finite per-node transmit queue (capacity 0 = legacy unbounded; see
+  /// net::QueueParams). Only meaningful under the CSMA MAC.
+  QueueParams queue;
   /// Random forwarding delay protocols apply before re-broadcasting a flood
   /// (storm suppression). Zero on an ideal channel, where it would only
   /// perturb BFS ordering.

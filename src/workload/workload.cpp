@@ -1,0 +1,181 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace wmsn::workload {
+
+std::string toString(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kLegacyRounds: return "legacy-rounds";
+    case WorkloadKind::kPeriodic: return "periodic";
+    case WorkloadKind::kPoisson: return "poisson";
+    case WorkloadKind::kBurst: return "burst";
+  }
+  return "unknown";
+}
+
+// --- PeriodicGenerator ------------------------------------------------------
+
+PeriodicGenerator::PeriodicGenerator(double ratePerSensor, std::uint64_t seed,
+                                     double jitterSeconds)
+    : interval_(sim::Time::seconds(1.0 / ratePerSensor)),
+      seed_(seed),
+      jitter_(sim::Time::seconds(jitterSeconds)) {
+  WMSN_REQUIRE_MSG(ratePerSensor > 0.0, "periodic rate must be positive");
+  WMSN_REQUIRE(interval_.us > 0);
+  WMSN_REQUIRE_MSG(jitter_.us >= 0 && jitter_ < interval_,
+                   "cbr jitter must stay below the beat interval");
+}
+
+std::vector<Arrival> PeriodicGenerator::arrivalsInWindow(
+    std::uint32_t /*round*/, sim::Time windowStart, sim::Time windowEnd,
+    const std::vector<SensorInfo>& sensors) {
+  std::vector<Arrival> out;
+  for (const SensorInfo& s : sensors) {
+    // Stable phase: the sensor's cadence is anchored at t=0 + phase for the
+    // whole run regardless of how rounds slice the timeline.
+    SplitMix64 mix(seed_ ^ (0x9e3779b97f4a7c15ULL * (s.id + 1)));
+    const std::int64_t phase =
+        static_cast<std::int64_t>(mix.next() % static_cast<std::uint64_t>(
+                                                   interval_.us));
+    std::int64_t k = (windowStart.us - phase + interval_.us - 1) / interval_.us;
+    if (k < 0) k = 0;
+    for (sim::Time t{phase + k * interval_.us}; t < windowEnd;
+         t += interval_, ++k) {
+      sim::Time at = t;
+      if (jitter_.us > 0) {
+        // Beat-indexed hash, not a stream draw: the k-th beat's slop is the
+        // same however the rounds slice the timeline.
+        SplitMix64 beat(seed_ ^ (0xc2b2ae3d27d4eb4fULL * (s.id + 1)) ^
+                        static_cast<std::uint64_t>(k));
+        at += sim::Time::microseconds(static_cast<std::int64_t>(
+            beat.next() % static_cast<std::uint64_t>(jitter_.us)));
+      }
+      out.push_back({s.id, at});
+    }
+  }
+  return out;
+}
+
+// --- PoissonGenerator -------------------------------------------------------
+
+PoissonGenerator::PoissonGenerator(double ratePerSensor, std::uint64_t seed)
+    : rate_(ratePerSensor), rng_(seed) {
+  WMSN_REQUIRE_MSG(ratePerSensor > 0.0, "poisson rate must be positive");
+}
+
+std::vector<Arrival> PoissonGenerator::arrivalsInWindow(
+    std::uint32_t /*round*/, sim::Time windowStart, sim::Time windowEnd,
+    const std::vector<SensorInfo>& sensors) {
+  std::vector<Arrival> out;
+  for (const SensorInfo& s : sensors) {
+    double t = windowStart.seconds() + rng_.exponential(rate_);
+    while (t < windowEnd.seconds()) {
+      out.push_back({s.id, sim::Time::seconds(t)});
+      t += rng_.exponential(rate_);
+    }
+  }
+  return out;
+}
+
+// --- BurstGenerator ---------------------------------------------------------
+
+BurstGenerator::BurstGenerator(BurstParams params, double fieldWidth,
+                               double fieldHeight, std::uint64_t seed)
+    : params_(params), width_(fieldWidth), height_(fieldHeight), rng_(seed) {
+  WMSN_REQUIRE_MSG(params_.frontSpeed > 0.0, "burst frontSpeed");
+  WMSN_REQUIRE_MSG(params_.radius > 0.0, "burst radius");
+  WMSN_REQUIRE_MSG(params_.reportInterval > 0.0, "burst reportInterval");
+  WMSN_REQUIRE_MSG(params_.backgroundRate >= 0.0, "burst backgroundRate");
+}
+
+std::vector<Arrival> BurstGenerator::arrivalsInWindow(
+    std::uint32_t /*round*/, sim::Time windowStart, sim::Time windowEnd,
+    const std::vector<SensorInfo>& sensors) {
+  const double window = (windowEnd - windowStart).seconds();
+
+  // The epicenter enters from a random edge and heads for a random point on
+  // the opposite edge — a fire line / vehicle column crossing the field.
+  const int edge = static_cast<int>(rng_.index(4));
+  net::Point start, target;
+  switch (edge) {
+    case 0:  // west -> east
+      start = {0.0, rng_.uniform(0.0, height_)};
+      target = {width_, rng_.uniform(0.0, height_)};
+      break;
+    case 1:  // east -> west
+      start = {width_, rng_.uniform(0.0, height_)};
+      target = {0.0, rng_.uniform(0.0, height_)};
+      break;
+    case 2:  // south -> north
+      start = {rng_.uniform(0.0, width_), 0.0};
+      target = {rng_.uniform(0.0, width_), height_};
+      break;
+    default:  // north -> south
+      start = {rng_.uniform(0.0, width_), height_};
+      target = {rng_.uniform(0.0, width_), 0.0};
+      break;
+  }
+  const double pathLen = net::distance(start, target);
+  const double vx = (target.x - start.x) / pathLen * params_.frontSpeed;
+  const double vy = (target.y - start.y) / pathLen * params_.frontSpeed;
+
+  std::vector<Arrival> out;
+  for (const SensorInfo& s : sensors) {
+    // Solve |p - (start + v t)| <= radius for t in [0, window]: the time
+    // span the front covers this sensor.
+    const double dx = start.x - s.position.x;
+    const double dy = start.y - s.position.y;
+    const double a = vx * vx + vy * vy;
+    const double b = 2.0 * (dx * vx + dy * vy);
+    const double c =
+        dx * dx + dy * dy - params_.radius * params_.radius;
+    const double disc = b * b - 4.0 * a * c;
+    if (disc >= 0.0) {
+      const double sq = std::sqrt(disc);
+      const double tIn = std::max(0.0, (-b - sq) / (2.0 * a));
+      const double tOut = std::min(window, (-b + sq) / (2.0 * a));
+      double t = tIn + rng_.uniform(0.0, params_.reportJitter);
+      while (t <= tOut) {
+        out.push_back({s.id, windowStart + sim::Time::seconds(t)});
+        t += params_.reportInterval +
+             rng_.uniform(0.0, params_.reportJitter);
+      }
+    }
+    // Background sensing keeps the rest of the field ticking.
+    if (params_.backgroundRate > 0.0) {
+      double t = rng_.exponential(params_.backgroundRate);
+      while (t < window) {
+        out.push_back({s.id, windowStart + sim::Time::seconds(t)});
+        t += rng_.exponential(params_.backgroundRate);
+      }
+    }
+  }
+  return out;
+}
+
+// --- factory ----------------------------------------------------------------
+
+std::unique_ptr<TrafficGenerator> makeGenerator(const WorkloadConfig& config,
+                                                double fieldWidth,
+                                                double fieldHeight,
+                                                std::uint64_t seed) {
+  switch (config.kind) {
+    case WorkloadKind::kLegacyRounds:
+      return nullptr;
+    case WorkloadKind::kPeriodic:
+      return std::make_unique<PeriodicGenerator>(config.ratePerSensor, seed,
+                                                 config.cbrJitter);
+    case WorkloadKind::kPoisson:
+      return std::make_unique<PoissonGenerator>(config.ratePerSensor, seed);
+    case WorkloadKind::kBurst:
+      return std::make_unique<BurstGenerator>(config.burst, fieldWidth,
+                                              fieldHeight, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace wmsn::workload

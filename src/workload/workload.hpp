@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/geometry.hpp"
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+#include "util/random.hpp"
+
+namespace wmsn::workload {
+
+/// Which traffic process drives the sensors' application layer.
+enum class WorkloadKind : std::uint8_t {
+  /// The original round model: T uniformly-jittered packets per sensor per
+  /// round (eq. 3), plus the optional §4.2 hotspot. Kept as the default so
+  /// every seed experiment reproduces bit-for-bit.
+  kLegacyRounds,
+  kPeriodic,  ///< CBR: fixed per-sensor interval with a stable phase offset
+  kPoisson,   ///< memoryless per-sensor arrivals at a configurable rate
+  kBurst,     ///< an event front sweeps the field; swept sensors report fast
+};
+
+std::string toString(WorkloadKind kind);
+
+/// §4.1's event-driven monitoring applications ("a forest fire occurs"): a
+/// moving epicenter crosses the field once per round, and sensors inside its
+/// radius emit correlated reports while swept. A light background process
+/// keeps the rest of the field ticking.
+struct BurstParams {
+  double frontSpeed = 10.0;      ///< epicenter sweep speed, m/s
+  double radius = 50.0;          ///< sensors within this of the front report
+  double reportInterval = 0.5;   ///< seconds between reports while swept
+  double backgroundRate = 0.02;  ///< background Poisson rate, pkt/s/sensor
+  double reportJitter = 0.05;    ///< uniform de-sync added per report, s
+};
+
+struct WorkloadConfig {
+  WorkloadKind kind = WorkloadKind::kLegacyRounds;
+  /// Offered load per sensor in packets/second (periodic & Poisson kinds).
+  /// Network offered load = ratePerSensor * sensorCount.
+  double ratePerSensor = 0.1;
+  /// Per-beat timing slop for the periodic generator, seconds. Models
+  /// sensor-OS scheduling drift; without it, hidden-terminal pairs whose
+  /// phases land within one airtime of each other collide on every beat.
+  double cbrJitter = 0.02;
+  BurstParams burst;
+};
+
+/// One sensor as the generator sees it: identity plus field position (the
+/// burst generator needs geometry; the others ignore it).
+struct SensorInfo {
+  net::NodeId id = net::kNoNode;
+  net::Point position;
+};
+
+/// One application-layer send: `sensor` originates a reading at absolute
+/// simulation time `at`.
+struct Arrival {
+  net::NodeId sensor = net::kNoNode;
+  sim::Time at;
+
+  friend bool operator==(const Arrival&, const Arrival&) = default;
+};
+
+/// A pluggable traffic process. The experiment asks it once per round for
+/// the arrivals falling inside that round's traffic window and schedules
+/// them on the simulator. Generators own their RNG stream, so arrival
+/// patterns depend only on (seed, round, sensor set) — never on thread
+/// count or what the protocols did with earlier packets.
+class TrafficGenerator {
+ public:
+  virtual ~TrafficGenerator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Arrivals in [windowStart, windowEnd) for `round`. Deterministic given
+  /// the construction seed and identical call sequences.
+  virtual std::vector<Arrival> arrivalsInWindow(
+      std::uint32_t round, sim::Time windowStart, sim::Time windowEnd,
+      const std::vector<SensorInfo>& sensors) = 0;
+};
+
+/// Constant-bit-rate reporting: each sensor sends every 1/rate seconds with
+/// a per-sensor phase offset derived from (seed, sensor id), so the fleet
+/// does not fire in lockstep but each sensor's cadence is exact.
+class PeriodicGenerator final : public TrafficGenerator {
+ public:
+  /// `jitterSeconds` adds an independent hash-derived offset in [0, jitter)
+  /// to every beat (0 = exact cadence). Hash-based rather than drawn from a
+  /// stream so arrival times do not depend on how rounds slice the
+  /// timeline.
+  PeriodicGenerator(double ratePerSensor, std::uint64_t seed,
+                    double jitterSeconds = 0.0);
+
+  std::string name() const override { return "periodic"; }
+  std::vector<Arrival> arrivalsInWindow(
+      std::uint32_t round, sim::Time windowStart, sim::Time windowEnd,
+      const std::vector<SensorInfo>& sensors) override;
+
+ private:
+  sim::Time interval_;
+  std::uint64_t seed_;
+  sim::Time jitter_;
+};
+
+/// Independent per-sensor Poisson processes: exponential inter-arrival
+/// times at `ratePerSensor`. Memorylessness lets each window be generated
+/// fresh without carrying state across rounds.
+class PoissonGenerator final : public TrafficGenerator {
+ public:
+  PoissonGenerator(double ratePerSensor, std::uint64_t seed);
+
+  std::string name() const override { return "poisson"; }
+  std::vector<Arrival> arrivalsInWindow(
+      std::uint32_t round, sim::Time windowStart, sim::Time windowEnd,
+      const std::vector<SensorInfo>& sensors) override;
+
+ private:
+  double rate_;
+  Rng rng_;
+};
+
+/// Event-front generator (see BurstParams). Each round an epicenter enters
+/// from a random field edge and sweeps across at `frontSpeed`; a sensor
+/// inside `radius` of the moving center reports every `reportInterval`
+/// (plus jitter) for as long as the front covers it.
+class BurstGenerator final : public TrafficGenerator {
+ public:
+  BurstGenerator(BurstParams params, double fieldWidth, double fieldHeight,
+                 std::uint64_t seed);
+
+  std::string name() const override { return "burst"; }
+  std::vector<Arrival> arrivalsInWindow(
+      std::uint32_t round, sim::Time windowStart, sim::Time windowEnd,
+      const std::vector<SensorInfo>& sensors) override;
+
+ private:
+  BurstParams params_;
+  double width_;
+  double height_;
+  Rng rng_;
+};
+
+/// Builds the configured generator, or nullptr for kLegacyRounds (the
+/// experiment keeps its original scheduling path for that one, preserving
+/// seed-exact reproduction). Field dimensions feed the burst geometry.
+std::unique_ptr<TrafficGenerator> makeGenerator(const WorkloadConfig& config,
+                                                double fieldWidth,
+                                                double fieldHeight,
+                                                std::uint64_t seed);
+
+}  // namespace wmsn::workload
