@@ -51,7 +51,27 @@ core::ScenarioConfig baseConfig(core::ProtocolKind protocol,
   cfg.workload.burst.backgroundRate = rate;  // burst showcase reuses `rate`
   cfg.macQueue.capacity = kQueueCapacity;
   cfg.seed = seed;
+  // Every run records its per-round trajectory; --csv writes them next to
+  // the summary so saturation onset is visible round by round.
+  cfg.obs.timeseries = true;
   return cfg;
+}
+
+std::string runLabel(const core::ScenarioConfig& cfg, double rate) {
+  return core::toString(cfg.protocol) + "/" +
+         workload::toString(cfg.workload.kind) + "/r" +
+         TextTable::num(rate, 2) + "/s" + std::to_string(cfg.seed);
+}
+
+/// `out.csv` → `out.timeseries.csv` (or plain append when no .csv suffix).
+std::string timeseriesPath(const std::string& csvPath) {
+  const std::string suffix = ".csv";
+  if (csvPath.size() > suffix.size() &&
+      csvPath.compare(csvPath.size() - suffix.size(), suffix.size(),
+                      suffix) == 0)
+    return csvPath.substr(0, csvPath.size() - suffix.size()) +
+           ".timeseries.csv";
+  return csvPath + ".timeseries.csv";
 }
 
 struct Point {
@@ -131,12 +151,29 @@ int main(int argc, char** argv) {
   // One config per (protocol, generator, rate, seed); all runs fan out over
   // the thread pool at once.
   std::vector<core::ScenarioConfig> configs;
+  std::vector<std::string> runLabels;
   for (core::ProtocolKind protocol : kProtocols)
     for (workload::WorkloadKind generator : kGenerators)
       for (double rate : kRates)
-        for (unsigned s = 0; s < seeds; ++s)
+        for (unsigned s = 0; s < seeds; ++s) {
           configs.push_back(baseConfig(protocol, generator, rate, 40 + s));
+          runLabels.push_back(runLabel(configs.back(), rate));
+        }
   const auto results = core::runScenariosParallel(configs, args.threads);
+
+  // Per-round trajectories of every run, concatenated under run labels
+  // (protocol/generator/rate/seed). Input order, so --threads never changes
+  // the bytes.
+  std::optional<CsvWriter> seriesCsv;
+  auto appendSeries = [&seriesCsv](const core::RunResult& r,
+                                   const std::string& label) {
+    if (!r.observations) return;
+    const auto& series = r.observations->timeseries;
+    if (!seriesCsv) seriesCsv.emplace(series.csvHeader());
+    series.appendCsv(*seriesCsv, label);
+  };
+  for (std::size_t i = 0; i < results.size(); ++i)
+    appendSeries(results[i], runLabels[i]);
 
   std::vector<Point> points;
   std::size_t cursor = 0;
@@ -206,6 +243,8 @@ int main(int argc, char** argv) {
     }
     const auto burstRuns =
         core::runScenariosParallel(burstConfigs, args.threads);
+    for (const auto& r : burstRuns)
+      appendSeries(r, r.protocol + "/burst/r0.02/s40");
     TextTable table({"protocol", "offered pps", "goodput pps", "PDR",
                      "p95 lat ms", "queue drops", "peak queue"});
     for (const auto& r : burstRuns) {
@@ -250,6 +289,11 @@ int main(int argc, char** argv) {
                "queue drops grow and PDR falls monotonically.\n";
 
   bench::maybeWriteCsv(args, csv);
+  if (args.csvPath && seriesCsv) {
+    const std::string path = timeseriesPath(*args.csvPath);
+    seriesCsv->writeFile(path);
+    std::cout << "(per-round time series written to " << path << ")\n";
+  }
   if (!jsonPath.empty()) {
     std::ofstream out(jsonPath);
     out << "[\n";

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <optional>
 
 #include "core/wmsn.hpp"
 
@@ -72,8 +73,26 @@ void usage() {
       "                        hello-flood|wormhole|ack-spoof\n"
       "  --attackers <k>       captured-sensor count        (default 3)\n"
       "  --svg <path>          write the final topology/energy heat map\n"
-      "  --trace <path>        write a per-frame CSV event trace\n"
+      "  --trace <path>        write a per-frame event trace\n"
+      "  --trace-format <f>    csv|jsonl trace serialisation (default csv)\n"
+      "  --metrics-out <path>  write the end-of-run metrics registry as JSON\n"
+      "  --timeseries-out <p>  write the per-round time series (CSV, or JSON\n"
+      "                        for a .json path; --repeat concatenates CSV)\n"
+      "  --profile             time simulation phases, print the table\n"
       "  --list                print available protocols/attacks and exit\n";
+}
+
+/// CSV by default; a `.json` path selects the JSON array form instead.
+void writeTimeseries(const obs::TimeSeriesRecorder& series,
+                     const std::string& path, const std::string& runLabel) {
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json)
+    series.writeJson(path);
+  else
+    series.writeCsv(path, runLabel);
+  std::cout << "(time series with " << series.rounds()
+            << " rounds written to " << path << ")\n";
 }
 
 }  // namespace
@@ -85,6 +104,9 @@ int main(int argc, char** argv) {
   cfg.attackerCount = 3;
   std::string svgPath;
   std::string tracePath;
+  std::string metricsPath;
+  std::string timeseriesPath;
+  obs::TraceFormat traceFormat = obs::TraceFormat::kCsv;
   unsigned repeat = 1;
   unsigned threads = 0;
 
@@ -203,6 +225,25 @@ int main(int argc, char** argv) {
       svgPath = next();
     } else if (arg == "--trace") {
       tracePath = next();
+    } else if (arg == "--trace-format" ||
+               arg.rfind("--trace-format=", 0) == 0) {
+      const std::string name = arg == "--trace-format"
+                                   ? next()
+                                   : arg.substr(std::strlen("--trace-format="));
+      try {
+        traceFormat = obs::parseTraceFormat(name);
+      } catch (const std::exception&) {
+        std::cerr << "unknown trace format: " << name << "\n";
+        return 2;
+      }
+    } else if (arg == "--metrics-out") {
+      metricsPath = next();
+      cfg.obs.metrics = true;
+    } else if (arg == "--timeseries-out") {
+      timeseriesPath = next();
+      cfg.obs.timeseries = true;
+    } else if (arg == "--profile") {
+      cfg.obs.profile = true;
     } else if (arg == "--lifetime") {
       cfg.stopAtFirstDeath = true;
       cfg.rounds = 1000;
@@ -248,10 +289,41 @@ int main(int argc, char** argv) {
                                     return static_cast<double>(r.queueDrops);
                                   })
                 << "\n";
+      // Observability outputs merge in seed order (the input order of the
+      // sweep), so they are byte-identical for any --threads value.
+      if (!metricsPath.empty()) {
+        obs::MetricsRegistry merged;
+        for (const auto& r : results)
+          if (r.observations) merged.merge(r.observations->metrics);
+        merged.writeJson(metricsPath);
+        std::cout << "(metrics for " << repeat << " seeds written to "
+                  << metricsPath << ")\n";
+      }
+      if (!timeseriesPath.empty()) {
+        std::optional<CsvWriter> csv;
+        std::size_t rows = 0;
+        for (std::size_t k = 0; k < results.size(); ++k) {
+          if (!results[k].observations) continue;
+          const auto& series = results[k].observations->timeseries;
+          if (!csv) csv.emplace(series.csvHeader());
+          series.appendCsv(*csv, labels[k]);
+          rows += series.rounds();
+        }
+        if (csv) csv->writeFile(timeseriesPath);
+        std::cout << "(time series with " << rows << " rounds written to "
+                  << timeseriesPath << ")\n";
+      }
+      if (cfg.obs.profile) {
+        obs::Profiler merged;
+        for (const auto& r : results)
+          if (r.observations) merged.merge(r.observations->profiler);
+        core::printSection(std::cout,
+                           "phase profile (all seeds)", merged.table());
+      }
       return 0;
     }
     auto scenario = core::buildScenario(cfg);
-    core::TraceLogger trace;
+    core::TraceLogger trace(traceFormat);
     if (!tracePath.empty()) trace.attach(*scenario);
     core::Experiment experiment(*scenario);
     const auto result = experiment.run();
@@ -261,9 +333,17 @@ int main(int argc, char** argv) {
     }
     if (!tracePath.empty()) {
       trace.writeFile(tracePath);
-      std::cout << "(trace with " << trace.rows() << " events written to "
-                << tracePath << ")\n";
+      std::cout << "(" << toString(trace.format()) << " trace with "
+                << trace.rows() << " events written to " << tracePath
+                << ")\n";
     }
+    if (!metricsPath.empty() && result.observations) {
+      result.observations->metrics.writeJson(metricsPath);
+      std::cout << "(metrics written to " << metricsPath << ")\n";
+    }
+    if (!timeseriesPath.empty() && result.observations)
+      writeTimeseries(result.observations->timeseries, timeseriesPath,
+                      "seed " + std::to_string(cfg.seed));
     std::cout << core::summaryLine(result) << "\n\n";
     core::printSection(std::cout, "result",
                        core::comparisonTable({result}));
@@ -286,6 +366,9 @@ int main(int argc, char** argv) {
                 << " replayed=" << result.attackerStats.framesReplayed
                 << " tunnelled=" << result.attackerStats.framesTunnelled
                 << "\n";
+    if (cfg.obs.profile && result.observations)
+      core::printSection(std::cout, "phase profile",
+                         result.observations->profiler.table());
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

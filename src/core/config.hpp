@@ -60,6 +60,25 @@ struct HotspotConfig {
   std::uint32_t startRound = 1;
 };
 
+/// What the run records beyond the end-of-run RunResult aggregates. All off
+/// by default — observability is opt-in so the hot path stays at seed cost.
+/// When any option is on, the run's RunResult carries a RunObservations.
+struct ObsOptions {
+  /// Fill a MetricsRegistry (counters/gauges/histograms with
+  /// protocol/node/kind labels) from TrafficStats, the MAC queues, the
+  /// energy model and the routing protocols at end of run.
+  bool metrics = false;
+  /// Snapshot a RoundSample at every round boundary: PDR, bytes, queue
+  /// depths, per-gateway load, energy min/mean/max/D².
+  bool timeseries = false;
+  /// Wall-clock phase profiler (event dispatch, MAC contention, crypto,
+  /// route maintenance). Diagnostic only — its numbers are not
+  /// deterministic, unlike everything else a run emits.
+  bool profile = false;
+
+  bool any() const { return metrics || timeseries || profile; }
+};
+
 /// Everything needed to build and run one simulated scenario. Every field
 /// has a sane default so examples stay short; benches override what they
 /// sweep.
@@ -131,6 +150,9 @@ struct ScenarioConfig {
   std::vector<GatewayFailure> failures;
   attacks::AttackPlan attack;
   std::size_t attackerCount = 0;  ///< auto-picks sensors if attack.attackers empty
+
+  // --- observability ---------------------------------------------------------------------
+  ObsOptions obs;
 
   // --- run control ---------------------------------------------------------------------
   bool stopAtFirstDeath = false;  ///< lifetime mode: run until a sensor dies

@@ -160,6 +160,31 @@ RunResult Experiment::run() {
   Scenario& s = scenario_;
   const ScenarioConfig& cfg = s.config;
 
+  if (cfg.obs.any() && !observations_) {
+    observations_ = std::make_shared<RunObservations>();
+    if (cfg.obs.timeseries) {
+      observations_->timeseries =
+          obs::TimeSeriesRecorder(s.network->gatewayIds().size());
+      // Round sampling rides the same mux as user observers; the cursor is
+      // owned by the lambda and lives as long as the experiment.
+      auto cursor =
+          std::make_shared<RoundCursor>(s.network->gatewayIds().size());
+      roundObservers_.attach(
+          "obs-timeseries", [this, cursor](std::uint32_t round) {
+            observations_->timeseries.add(cursor->sample(
+                scenario_, round,
+                observations_->timeseries.queueDepthEdges()));
+            scenario_.network->stats().markRound();
+          });
+    }
+    observations_->profiled = cfg.obs.profile;
+  }
+  // Installs the phase profiler for this run only (thread-local, restored
+  // on scope exit even if the run throws).
+  obs::Profiler::Activation profiling(
+      observations_ && observations_->profiled ? &observations_->profiler
+                                               : nullptr);
+
   s.stack->startAll();
 
   std::uint32_t completed = 0;
@@ -169,7 +194,7 @@ RunResult Experiment::run() {
     scheduleTraffic(round, roundStart);
     s.simulator.runUntil(roundStart + cfg.roundDuration);
     completed = round + 1;
-    if (observer_) observer_(round);
+    roundObservers_.notify(round);
     if (cfg.stopAtFirstDeath && s.network->firstSensorDeathTime()) break;
   }
   // Drain grace: let the final round's in-flight frames land (aggregation
@@ -179,7 +204,7 @@ RunResult Experiment::run() {
   return collect(completed);
 }
 
-RunResult Experiment::collect(std::uint32_t roundsCompleted) const {
+RunResult Experiment::collect(std::uint32_t roundsCompleted) {
   const Scenario& s = scenario_;
   RunResult r;
   r.protocol = toString(s.config.protocol);
@@ -245,6 +270,11 @@ RunResult Experiment::collect(std::uint32_t roundsCompleted) const {
         attacks::collectAttackerStats(*s.stack, s.config.attack);
 
   r.eventsProcessed = s.simulator.eventsProcessed();
+
+  if (observations_) {
+    if (s.config.obs.metrics) fillRegistry(s, r, observations_->metrics);
+    r.observations = observations_;
+  }
   return r;
 }
 

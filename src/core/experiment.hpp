@@ -2,10 +2,13 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/builder.hpp"
 #include "core/metrics.hpp"
+#include "core/observability.hpp"
+#include "obs/mux.hpp"
 
 namespace wmsn::core {
 
@@ -55,6 +58,10 @@ struct RunResult {
   attacks::AttackerStats attackerStats;
 
   std::uint64_t eventsProcessed = 0;
+
+  /// Present when the run had any ScenarioConfig::obs option on: metrics
+  /// registry, per-round time series, and/or the phase profiler.
+  std::shared_ptr<const RunObservations> observations;
 };
 
 /// Drives a built scenario through its rounds: applies scheduled gateway
@@ -65,12 +72,19 @@ class Experiment {
  public:
   explicit Experiment(Scenario& scenario);
 
-  /// Optional per-round hook, called after each round completes (with the
-  /// 0-based round index). Benches use it to snapshot evolving state
-  /// (Table 1's per-round routing tables).
+  /// Per-round hooks, called after each round completes (with the 0-based
+  /// round index). Benches use them to snapshot evolving state (Table 1's
+  /// per-round routing tables). Multiple named consumers coexist through
+  /// the observer mux; attaching the same name twice REQUIRE-fails.
   using RoundObserver = std::function<void(std::uint32_t round)>;
+  void addRoundObserver(const std::string& name, RoundObserver observer) {
+    roundObservers_.attach(name, std::move(observer));
+  }
+  /// Legacy single-observer convenience; equivalent to attaching under a
+  /// fixed name, so calling it twice REQUIRE-fails instead of silently
+  /// replacing the first observer.
   void setRoundObserver(RoundObserver observer) {
-    observer_ = std::move(observer);
+    roundObservers_.attach("user-round-observer", std::move(observer));
   }
 
   RunResult run();
@@ -78,12 +92,13 @@ class Experiment {
  private:
   void beginRound(std::uint32_t round);
   void scheduleTraffic(std::uint32_t round, sim::Time roundStart);
-  RunResult collect(std::uint32_t roundsCompleted) const;
+  RunResult collect(std::uint32_t roundsCompleted);
 
   Scenario& scenario_;
   Rng trafficRng_;
   std::unique_ptr<workload::TrafficGenerator> generator_;
-  RoundObserver observer_;
+  obs::ObserverMux<std::uint32_t> roundObservers_;
+  std::shared_ptr<RunObservations> observations_;
 };
 
 /// Convenience: build + run in one call (what parallel sweeps execute).

@@ -1,0 +1,189 @@
+#include "core/observability.hpp"
+
+#include <algorithm>
+
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "routing/secmlr.hpp"
+
+namespace wmsn::core {
+
+obs::RoundSample RoundCursor::sample(const Scenario& scenario,
+                                     std::uint32_t round,
+                                     const std::vector<double>& depthEdges) {
+  const net::SensorNetwork& network = *scenario.network;
+  const net::TrafficStats& t = network.stats();
+  const sim::Time now = scenario.simulator.now();
+
+  obs::RoundSample s;
+  s.round = round;
+  s.timeSeconds = now.seconds();
+
+  s.generated = t.generated() - prevGenerated_;
+  s.delivered = t.delivered() - prevDelivered_;
+  s.pdrRound = s.generated > 0 ? static_cast<double>(s.delivered) /
+                                     static_cast<double>(s.generated)
+                               : 1.0;
+  s.pdrCumulative = t.deliveryRatio();
+  s.controlBytes = t.controlBytes() - prevControlBytes_;
+  s.dataBytes = t.dataBytes() - prevDataBytes_;
+  s.queueDrops = t.queueDrops() - prevQueueDrops_;
+  s.macDrops = t.macDrops() - prevMacDrops_;
+  s.collisions = t.collisions() - prevCollisions_;
+
+  prevGenerated_ = t.generated();
+  prevDelivered_ = t.delivered();
+  prevControlBytes_ = t.controlBytes();
+  prevDataBytes_ = t.dataBytes();
+  prevQueueDrops_ = t.queueDrops();
+  prevMacDrops_ = t.macDrops();
+  prevCollisions_ = t.collisions();
+
+  // Queue depths: per-node peaks within the round window (histogram +
+  // network-wide peak) and the time-weighted mean from the integral delta.
+  s.queueDepthHist.assign(depthEdges.size() + 1, 0);
+  for (const auto& [node, peak] : t.roundPeakQueueDepthByNode()) {
+    const double depth = static_cast<double>(peak);
+    const auto it =
+        std::lower_bound(depthEdges.begin(), depthEdges.end(), depth);
+    ++s.queueDepthHist[static_cast<std::size_t>(it - depthEdges.begin())];
+    s.queuePeakDepth = std::max(s.queuePeakDepth,
+                                static_cast<std::uint64_t>(peak));
+  }
+  double depthIntegral = 0.0;
+  for (net::NodeId id = 0; id < network.size(); ++id)
+    depthIntegral += network.node(id).mac().queueDepthIntegral(now);
+  const double windowSeconds = now.seconds() - prevTimeSeconds_;
+  if (windowSeconds > 0.0 && network.size() > 0)
+    s.queueMeanDepth = (depthIntegral - prevDepthIntegral_) / windowSeconds /
+                       static_cast<double>(network.size());
+  prevDepthIntegral_ = depthIntegral;
+  prevTimeSeconds_ = now.seconds();
+
+  // Per-gateway first deliveries this round, by gateway ordinal.
+  s.perGatewayDeliveries.assign(gatewayCount_, 0);
+  if (prevPerGateway_.empty()) prevPerGateway_.assign(gatewayCount_, 0);
+  const auto& perGateway = t.perGatewayDeliveries();
+  for (std::size_t g = 0; g < gatewayCount_; ++g) {
+    const net::NodeId gw = network.gatewayIds()[g];
+    const auto it = perGateway.find(gw);
+    const std::uint64_t total = it == perGateway.end() ? 0 : it->second;
+    s.perGatewayDeliveries[g] = total - prevPerGateway_[g];
+    prevPerGateway_[g] = total;
+  }
+
+  // Energy distribution over sensors, cumulative at the boundary (the D²
+  // trajectory of eq. 1).
+  const EnergySummary energy = summarizeSensorEnergy(network);
+  s.energyMinJ = energy.minJ;
+  s.energyMeanJ = energy.meanJ;
+  s.energyMaxJ = energy.maxJ;
+  s.energyVarianceD2 = energy.varianceD2;
+  s.aliveSensors = network.aliveSensorCount();
+  return s;
+}
+
+void fillRegistry(const Scenario& scenario, const RunResult& result,
+                  obs::MetricsRegistry& registry) {
+  const obs::Labels proto = {{"protocol", result.protocol}};
+  const net::SensorNetwork& network = *scenario.network;
+  const net::TrafficStats& t = network.stats();
+
+  // --- TrafficStats -------------------------------------------------------
+  registry.counter("wmsn_readings_generated_total", proto).add(t.generated());
+  registry.counter("wmsn_readings_delivered_total", proto).add(t.delivered());
+  registry.counter("wmsn_duplicate_deliveries_total", proto)
+      .add(t.duplicateDeliveries());
+  registry.counter("wmsn_control_frames_total", proto).add(t.controlFrames());
+  registry.counter("wmsn_data_frames_total", proto).add(t.dataFrames());
+  registry.counter("wmsn_control_bytes_total", proto).add(t.controlBytes());
+  registry.counter("wmsn_data_bytes_total", proto).add(t.dataBytes());
+  registry.counter("wmsn_collisions_total", proto).add(t.collisions());
+  registry.counter("wmsn_mac_drops_total", proto).add(t.macDrops());
+  registry.counter("wmsn_queue_drops_total", proto).add(t.queueDrops());
+  registry.gauge("wmsn_pdr", proto).set(t.deliveryRatio());
+  registry.gauge("wmsn_rounds_completed", proto)
+      .set(static_cast<double>(result.roundsCompleted));
+
+  for (const auto& [kind, frames] : t.framesByKind()) {
+    obs::Labels labels = proto;
+    labels.push_back({"kind", net::kindName(kind)});
+    registry.counter("wmsn_frames_total", std::move(labels)).add(frames);
+  }
+
+  // Hop and latency distributions of first deliveries.
+  auto& hops = registry.histogram("wmsn_delivery_hops",
+                                  {1, 2, 3, 4, 5, 6, 8, 10, 15}, proto);
+  for (const double h : t.hopStats().samples()) hops.observe(h);
+  auto& latency = registry.histogram(
+      "wmsn_delivery_latency_ms",
+      {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}, proto);
+  for (const double l : t.latencyStats().samples()) latency.observe(l * 1e3);
+
+  // Load balance: first deliveries per gateway.
+  for (std::size_t g = 0; g < network.gatewayIds().size(); ++g) {
+    const net::NodeId gw = network.gatewayIds()[g];
+    const auto it = t.perGatewayDeliveries().find(gw);
+    obs::Labels labels = proto;
+    labels.push_back({"gateway", std::to_string(g)});
+    registry.counter("wmsn_gateway_deliveries_total", std::move(labels))
+        .add(it == t.perGatewayDeliveries().end() ? 0 : it->second);
+  }
+
+  // --- MAC queues ---------------------------------------------------------
+  for (const auto& [node, drops] : t.queueDropsByNode()) {
+    obs::Labels labels = proto;
+    labels.push_back({"node", std::to_string(node)});
+    registry.counter("wmsn_node_queue_drops_total", std::move(labels))
+        .add(drops);
+  }
+  auto& depths = registry.histogram("wmsn_node_peak_queue_depth",
+                                    {1, 2, 4, 8, 16, 32}, proto);
+  for (const auto& [node, peak] : t.peakQueueDepthByNode())
+    depths.observe(static_cast<double>(peak));
+
+  // --- energy model -------------------------------------------------------
+  const EnergySummary sensors = summarizeSensorEnergy(network);
+  registry.gauge("wmsn_sensor_energy_total_j", proto).set(sensors.totalJ);
+  registry.gauge("wmsn_sensor_energy_mean_j", proto).set(sensors.meanJ);
+  registry.gauge("wmsn_sensor_energy_min_j", proto).set(sensors.minJ);
+  registry.gauge("wmsn_sensor_energy_max_j", proto).set(sensors.maxJ);
+  registry.gauge("wmsn_sensor_energy_variance_d2", proto)
+      .set(sensors.varianceD2);
+  registry.gauge("wmsn_sensor_energy_jain_fairness", proto)
+      .set(sensors.jainFairness);
+  registry.gauge("wmsn_alive_sensors", proto)
+      .set(static_cast<double>(network.aliveSensorCount()));
+  // Consumed energy spread as fractions of the initial budget — the
+  // dispersion view behind the D² claim.
+  const double budget = scenario.config.energy.initialEnergyJ;
+  auto& consumed = registry.histogram(
+      "wmsn_sensor_energy_consumed_fraction",
+      {0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}, proto);
+  for (const double e : sensors.perSensorJ)
+    consumed.observe(budget > 0.0 ? e / budget : 0.0);
+
+  // --- routing protocols --------------------------------------------------
+  std::uint64_t rejectedMacs = 0, rejectedReplays = 0, rejectedTesla = 0;
+  for (net::NodeId id = 0; id < network.size(); ++id) {
+    if (const auto* sec = dynamic_cast<const routing::SecMlrRouting*>(
+            &scenario.stack->at(id))) {
+      rejectedMacs += sec->rejectedMacs();
+      rejectedReplays += sec->rejectedReplays();
+      rejectedTesla += sec->rejectedTesla();
+    }
+  }
+  if (scenario.config.protocol == ProtocolKind::kSecMlr) {
+    registry.counter("wmsn_secmlr_rejected_macs_total", proto)
+        .add(rejectedMacs);
+    registry.counter("wmsn_secmlr_rejected_replays_total", proto)
+        .add(rejectedReplays);
+    registry.counter("wmsn_secmlr_rejected_tesla_total", proto)
+        .add(rejectedTesla);
+  }
+
+  registry.counter("wmsn_events_processed_total", proto)
+      .add(scenario.simulator.eventsProcessed());
+}
+
+}  // namespace wmsn::core

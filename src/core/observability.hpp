@@ -1,0 +1,59 @@
+#pragma once
+
+#include <memory>
+
+#include "core/builder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/timeseries.hpp"
+
+namespace wmsn::core {
+
+struct RunResult;
+
+/// Everything one run observed beyond the RunResult aggregates, produced
+/// when any ScenarioConfig::obs option is on. Carried by RunResult as a
+/// shared_ptr so results stay cheap to copy through sweeps.
+struct RunObservations {
+  obs::MetricsRegistry metrics;
+  obs::TimeSeriesRecorder timeseries{0};
+  obs::Profiler profiler;
+  bool profiled = false;
+};
+
+/// Incremental round sampler: remembers the previous round boundary's
+/// cumulative counters so each RoundSample reports per-round deltas. One
+/// cursor per run, sampled once per completed round.
+class RoundCursor {
+ public:
+  explicit RoundCursor(std::size_t gatewayCount)
+      : gatewayCount_(gatewayCount) {}
+
+  /// Builds the sample for the round that just completed and advances the
+  /// cursor. `depthEdges` are the recorder's queue-depth bucket edges.
+  obs::RoundSample sample(const Scenario& scenario, std::uint32_t round,
+                          const std::vector<double>& depthEdges);
+
+ private:
+  std::size_t gatewayCount_;
+  std::uint64_t prevGenerated_ = 0;
+  std::uint64_t prevDelivered_ = 0;
+  std::uint64_t prevControlBytes_ = 0;
+  std::uint64_t prevDataBytes_ = 0;
+  std::uint64_t prevQueueDrops_ = 0;
+  std::uint64_t prevMacDrops_ = 0;
+  std::uint64_t prevCollisions_ = 0;
+  std::vector<std::uint64_t> prevPerGateway_;
+  double prevDepthIntegral_ = 0.0;
+  double prevTimeSeconds_ = 0.0;
+};
+
+/// Fills `registry` from the run's four instrumentation sources —
+/// TrafficStats, the per-node MAC queues, the energy model, and the routing
+/// protocols (SecMLR rejection counters) — under a {protocol} label.
+/// Deterministic: every value derives from simulation state, and export
+/// order is fixed by the registry.
+void fillRegistry(const Scenario& scenario, const RunResult& result,
+                  obs::MetricsRegistry& registry);
+
+}  // namespace wmsn::core

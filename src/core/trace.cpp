@@ -1,30 +1,53 @@
 #include "core/trace.hpp"
 
-#include "util/table.hpp"
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "util/require.hpp"
 
 namespace wmsn::core {
 
-TraceLogger::TraceLogger()
-    : csv_({"time_s", "event", "kind", "node", "hop_dst", "origin", "uid",
-            "bytes"}) {}
+TraceLogger::TraceLogger(obs::TraceFormat format)
+    : sink_(obs::makeTraceSink(format)),
+      observerName_("trace-logger@" + std::to_string(reinterpret_cast<
+                                                     std::uintptr_t>(this))) {}
+
+TraceLogger::~TraceLogger() { detach(); }
 
 void TraceLogger::attach(Scenario& scenario) {
   net::SensorNetwork* network = scenario.network.get();
   sim::Simulator* simulator = &scenario.simulator;
-  network->setFrameObserver([this, simulator](const net::Packet& packet,
-                                              net::NodeId node,
-                                              bool transmit) {
-    csv_.addRow({TextTable::num(simulator->now().seconds(), 6),
-                 transmit ? "tx" : "rx", net::toString(packet.kind),
-                 TextTable::num(static_cast<std::uint64_t>(node)),
-                 packet.hopDst == net::kBroadcastId
-                     ? "*"
-                     : TextTable::num(
-                           static_cast<std::uint64_t>(packet.hopDst)),
-                 TextTable::num(static_cast<std::uint64_t>(packet.origin)),
-                 TextTable::num(packet.uid),
-                 TextTable::num(packet.sizeBytes())});
-  });
+  obs::TraceSink* sink = sink_.get();
+  // A second attach of this logger reuses its name, so the mux rejects it.
+  network->attachFrameObserver(
+      observerName_, [sink, simulator](const net::Packet& packet,
+                                       net::NodeId node, bool transmit) {
+        obs::TraceEvent e;
+        e.timeSeconds = simulator->now().seconds();
+        e.transmit = transmit;
+        e.kind = net::kindName(packet.kind);
+        e.node = node;
+        e.broadcast = packet.hopDst == net::kBroadcastId;
+        e.hopDst = packet.hopDst;
+        e.origin = packet.origin;
+        e.uid = packet.uid;
+        e.bytes = packet.sizeBytes();
+        sink->onEvent(e);
+      });
+  attachedTo_ = network;
+}
+
+void TraceLogger::detach() {
+  if (!attachedTo_) return;
+  attachedTo_->detachFrameObserver(observerName_);
+  attachedTo_ = nullptr;
+}
+
+const CsvWriter& TraceLogger::csv() const {
+  const auto* csvSink = dynamic_cast<const obs::CsvTraceSink*>(sink_.get());
+  WMSN_REQUIRE_MSG(csvSink != nullptr,
+                   "TraceLogger::csv() needs a csv-format logger");
+  return csvSink->csv();
 }
 
 }  // namespace wmsn::core

@@ -1,30 +1,49 @@
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "core/builder.hpp"
+#include "obs/trace_sink.hpp"
 #include "util/csv.hpp"
 
 namespace wmsn::core {
 
-/// Per-frame event trace (ns-2 style): one CSV row per transmit and per
+/// Per-frame event trace (ns-2 style): one record per transmit and per
 /// successful delivery, with simulated time, packet kind, addressing, and
-/// size. Attach before running; write after. Traces are the debugging and
-/// post-hoc-analysis companion to the aggregate metrics.
+/// size. The serialisation lives in a pluggable obs::TraceSink (CSV, JSONL,
+/// or a counting null sink); the logger's job is translating network frames
+/// into obs::TraceEvents and riding the frame-observer mux, where it coexists
+/// with visualisation and workload hooks. Attach before running; write after.
+/// A logger must not outlive the scenario it is attached to.
 class TraceLogger {
  public:
-  TraceLogger();
+  explicit TraceLogger(obs::TraceFormat format = obs::TraceFormat::kCsv);
+  ~TraceLogger();
 
-  /// Hooks the scenario's sensor network. Replaces any existing frame
-  /// observer on it.
+  TraceLogger(const TraceLogger&) = delete;
+  TraceLogger& operator=(const TraceLogger&) = delete;
+
+  /// Hooks the scenario's sensor network through the observer mux. Other
+  /// observers keep working; attaching the *same* logger twice REQUIRE-fails.
   void attach(Scenario& scenario);
+  /// Undoes attach() (no-op if not attached). Also runs at destruction.
+  void detach();
 
-  std::size_t rows() const { return csv_.rows(); }
-  const CsvWriter& csv() const { return csv_; }
-  void writeFile(const std::string& path) const { csv_.writeFile(path); }
+  obs::TraceFormat format() const { return sink_->format(); }
+  const obs::TraceSink& sink() const { return *sink_; }
+
+  std::size_t rows() const { return sink_->events(); }
+  /// The serialised trace ("" for the null sink).
+  std::string str() const { return sink_->str(); }
+  /// CSV view; REQUIRE-fails unless the logger was built with kCsv.
+  const CsvWriter& csv() const;
+  void writeFile(const std::string& path) const { sink_->writeFile(path); }
 
  private:
-  CsvWriter csv_;
+  std::unique_ptr<obs::TraceSink> sink_;
+  net::SensorNetwork* attachedTo_ = nullptr;
+  std::string observerName_;
 };
 
 }  // namespace wmsn::core

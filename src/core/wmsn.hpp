@@ -12,12 +12,14 @@
 /// Lower layers are directly usable too: sim::Simulator (discrete events),
 /// net::SensorNetwork (radio/energy substrate), routing::* (the protocols),
 /// crypto::* (SHA-256 / HMAC / Speck / TESLA), mesh::* (the backhaul tier),
-/// attacks::* (adversary models).
+/// attacks::* (adversary models), obs::* (metrics / time series / traces /
+/// profiler — opt in via ScenarioConfig::obs).
 
 #include "core/builder.hpp"
 #include "core/config.hpp"
 #include "core/experiment.hpp"
 #include "core/metrics.hpp"
+#include "core/observability.hpp"
 #include "core/placement.hpp"
 #include "core/topology_control.hpp"
 #include "core/report.hpp"
@@ -25,4 +27,9 @@
 #include "core/trace.hpp"
 #include "core/viz.hpp"
 #include "mesh/wmsn_stack.hpp"
+#include "obs/metrics.hpp"
+#include "obs/mux.hpp"
+#include "obs/profiler.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace_sink.hpp"
 #include "workload/workload.hpp"

@@ -1,9 +1,12 @@
 #include "crypto/ctr.hpp"
 
+#include "obs/profiler.hpp"
+
 namespace wmsn::crypto {
 
 void SpeckCtr::crypt(std::uint64_t counter,
                      std::span<std::uint8_t> data) const {
+  WMSN_PROFILE_PHASE(kCrypto);
   // Keystream block i = E_K(x = low32(counter) ^ i*golden, y = high32 ^ i).
   // Mixing the block index into both words keeps blocks of one message
   // distinct while the per-message counter keeps messages distinct.

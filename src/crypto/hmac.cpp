@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/profiler.hpp"
+
 namespace wmsn::crypto {
 
 HmacSha256::Digest HmacSha256::mac(std::span<const std::uint8_t> key,
                                    std::span<const std::uint8_t> message) {
+  WMSN_PROFILE_PHASE(kCrypto);
   constexpr std::size_t kBlockSize = 64;
   std::array<std::uint8_t, kBlockSize> keyBlock{};
 

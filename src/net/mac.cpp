@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
+
 namespace wmsn::net {
 
 std::string toString(QueuePolicy policy) {
@@ -37,7 +39,7 @@ void CsmaMac::send(Packet packet) {
   }
   if (waiting_.size() >= queue_.capacity) {
     ++queueDrops_;
-    if (stats_) stats_->onQueueDrop();
+    if (stats_) stats_->onQueueDrop(self_);
     if (queue_.policy == QueuePolicy::kDropTail) return;
     // Drop-oldest: the stalest waiting frame makes room for the newcomer
     // (sensing data ages fast; fresh readings matter more).
@@ -48,6 +50,7 @@ void CsmaMac::send(Packet packet) {
   noteDepthChange();
   waiting_.push_back(std::move(packet));
   peakDepth_ = std::max(peakDepth_, waiting_.size());
+  if (stats_) stats_->onQueueDepth(self_, waiting_.size());
 }
 
 void CsmaMac::serve(Packet packet) {
@@ -61,6 +64,7 @@ void CsmaMac::serve(Packet packet) {
 }
 
 void CsmaMac::attempt(Packet packet, std::uint32_t tries) {
+  WMSN_PROFILE_PHASE(kMacContention);
   if (!medium_.channelBusy(self_)) {
     const sim::Time air = medium_.airTime(packet);
     medium_.transmit(self_, std::move(packet));

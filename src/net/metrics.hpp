@@ -28,9 +28,22 @@ class TrafficStats {
   void onTransmit(PacketKind kind, std::size_t bytes);
 
   void onMacDrop() { ++macDrops_; }
-  /// A frame was rejected or evicted by a full finite transmit queue — the
-  /// congestion-loss signal of the workload engine's capacity experiments.
-  void onQueueDrop() { ++queueDrops_; }
+  /// A frame was rejected or evicted by `node`'s full finite transmit queue
+  /// — the congestion-loss signal of the workload engine's capacity
+  /// experiments, attributed per node so the time-series recorder can show
+  /// where the congestion sits.
+  void onQueueDrop(NodeId node) {
+    ++queueDrops_;
+    ++queueDropsByNode_[node];
+  }
+  /// `node`'s transmit queue grew to `depth` waiting frames. Tracks the
+  /// all-time and the since-last-round-mark peak per node.
+  void onQueueDepth(NodeId node, std::size_t depth) {
+    std::size_t& peak = peakQueueDepthByNode_[node];
+    if (depth > peak) peak = depth;
+    std::size_t& roundPeak = roundPeakQueueDepthByNode_[node];
+    if (depth > roundPeak) roundPeak = depth;
+  }
   void onCollision() { ++collisions_; }
 
   std::uint64_t generated() const { return generated_; }
@@ -44,6 +57,21 @@ class TrafficStats {
   std::uint64_t macDrops() const { return macDrops_; }
   std::uint64_t queueDrops() const { return queueDrops_; }
   std::uint64_t collisions() const { return collisions_; }
+  /// Per-node congestion views (ordered by node id for deterministic
+  /// export). Nodes that never dropped / never queued are absent.
+  const std::map<NodeId, std::uint64_t>& queueDropsByNode() const {
+    return queueDropsByNode_;
+  }
+  const std::map<NodeId, std::size_t>& peakQueueDepthByNode() const {
+    return peakQueueDepthByNode_;
+  }
+  /// Peak depth per node since the last markRound() — the per-round
+  /// queue-depth histogram's input.
+  const std::map<NodeId, std::size_t>& roundPeakQueueDepthByNode() const {
+    return roundPeakQueueDepthByNode_;
+  }
+  /// Starts a new per-round accounting window (round boundary).
+  void markRound() { roundPeakQueueDepthByNode_.clear(); }
   /// Deliveries of an already-delivered uid — what a replay attack inflates
   /// when the protocol lacks freshness counters.
   std::uint64_t duplicateDeliveries() const { return duplicateDeliveries_; }
@@ -83,6 +111,9 @@ class TrafficStats {
   std::uint64_t macDrops_ = 0;
   std::uint64_t queueDrops_ = 0;
   std::uint64_t collisions_ = 0;
+  std::map<NodeId, std::uint64_t> queueDropsByNode_;
+  std::map<NodeId, std::size_t> peakQueueDepthByNode_;
+  std::map<NodeId, std::size_t> roundPeakQueueDepthByNode_;
   std::uint64_t duplicateDeliveries_ = 0;
   std::unordered_map<std::uint64_t, sim::Time> genTime_;
   std::unordered_set<std::uint64_t> deliveredUids_;

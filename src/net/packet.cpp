@@ -2,7 +2,7 @@
 
 namespace wmsn::net {
 
-std::string toString(PacketKind kind) {
+const char* kindName(PacketKind kind) {
   switch (kind) {
     case PacketKind::kHello: return "HELLO";
     case PacketKind::kRreq: return "RREQ";
@@ -23,5 +23,7 @@ std::string toString(PacketKind kind) {
   }
   return "UNKNOWN";
 }
+
+std::string toString(PacketKind kind) { return kindName(kind); }
 
 }  // namespace wmsn::net

@@ -35,6 +35,9 @@ enum class PacketKind : std::uint8_t {
 };
 
 std::string toString(PacketKind kind);
+/// Static-lifetime kind name — the allocation-free variant trace sinks use
+/// on the per-frame hot path.
+const char* kindName(PacketKind kind);
 
 /// One over-the-air frame. Addressing fields mirror a compressed
 /// 802.15.4-class header; `payload` carries the protocol-specific body in

@@ -115,7 +115,8 @@ void SensorNetwork::sendFrom(NodeId id, Packet packet) {
   if (!sender.alive()) return;
   packet.hopSrc = id;
   if (packet.uid == 0) packet.uid = nextPacketUid();
-  if (frameObserver_) frameObserver_(packet, id, /*transmit=*/true);
+  if (!frameObservers_.empty())
+    frameObservers_.notify(packet, id, /*transmit=*/true);
   sender.mac().send(std::move(packet));
 }
 
@@ -159,7 +160,8 @@ void SensorNetwork::handleDeath(NodeId id) {
 
 void SensorNetwork::deliverFrame(NodeId to, const Packet& packet,
                                  NodeId from) {
-  if (frameObserver_) frameObserver_(packet, to, /*transmit=*/false);
+  if (!frameObservers_.empty())
+    frameObservers_.notify(packet, to, /*transmit=*/false);
   node(to).receive(packet, from);
 }
 

@@ -8,6 +8,7 @@
 #include "net/metrics.hpp"
 #include "net/node.hpp"
 #include "net/radio.hpp"
+#include "obs/mux.hpp"
 #include "sim/simulator.hpp"
 
 namespace wmsn::net {
@@ -71,14 +72,22 @@ class SensorNetwork final : public MediumHost {
   std::uint64_t nextPacketUid() { return ++uidCounter_; }
   sim::Time floodJitter() const { return params_.floodJitter; }
 
-  /// Per-frame observer for tracing: invoked with transmit=true when a node
-  /// hands a frame to its MAC, and transmit=false when a frame is delivered
-  /// to a node's protocol.
+  /// Per-frame observers for tracing: invoked with transmit=true when a
+  /// node hands a frame to its MAC, and transmit=false when a frame is
+  /// delivered to a node's protocol. Any number of named consumers (trace
+  /// sinks, viz hooks, workload probes) attach side by side; attaching the
+  /// same name twice REQUIRE-fails — the old single-slot setter silently
+  /// evicted whoever attached first.
   using FrameObserver =
       std::function<void(const Packet&, NodeId node, bool transmit)>;
-  void setFrameObserver(FrameObserver observer) {
-    frameObserver_ = std::move(observer);
+  using FrameObserverMux = obs::ObserverMux<const Packet&, NodeId, bool>;
+  void attachFrameObserver(const std::string& name, FrameObserver observer) {
+    frameObservers_.attach(name, std::move(observer));
   }
+  bool detachFrameObserver(const std::string& name) {
+    return frameObservers_.detach(name);
+  }
+  const FrameObserverMux& frameObservers() const { return frameObservers_; }
 
   /// Sends through the node's MAC (applies CSMA discipline if configured).
   void sendFrom(NodeId id, Packet packet);
@@ -117,7 +126,7 @@ class SensorNetwork final : public MediumHost {
   std::vector<NodeId> gatewayIds_;
   TrafficStats stats_;
   std::uint64_t uidCounter_ = 0;
-  FrameObserver frameObserver_;
+  FrameObserverMux frameObservers_;
 };
 
 }  // namespace wmsn::net

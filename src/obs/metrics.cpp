@@ -1,0 +1,233 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/require.hpp"
+
+namespace wmsn::obs {
+
+namespace {
+
+/// Shortest round-trip-ish formatting that is locale-independent and stable
+/// across runs — JSON output must be byte-identical for identical inputs.
+std::string formatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void appendLabels(std::ostringstream& os, const Labels& labels) {
+  os << "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) os << ",";
+    os << "\"" << jsonEscape(labels[i].first) << "\":\""
+       << jsonEscape(labels[i].second) << "\"";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string labelKey(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ',';
+    out += labels[i].first;
+    out += '=';
+    out += labels[i].second;
+  }
+  return out;
+}
+
+Histogram::Histogram(std::vector<double> upperEdges)
+    : edges_(std::move(upperEdges)), counts_(edges_.size() + 1, 0) {
+  WMSN_REQUIRE_MSG(!edges_.empty(), "histogram needs at least one edge");
+  WMSN_REQUIRE_MSG(std::is_sorted(edges_.begin(), edges_.end()) &&
+                       std::adjacent_find(edges_.begin(), edges_.end()) ==
+                           edges_.end(),
+                   "histogram edges must be strictly increasing");
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - edges_.begin())];
+  ++count_;
+  sum_ += x;
+}
+
+void Histogram::merge(const Histogram& other) {
+  WMSN_REQUIRE_MSG(edges_ == other.edges_,
+                   "cannot merge histograms with different bucket edges");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::lookup(const std::string& name,
+                                                Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  const std::string key = name + '\x1f' + labelKey(labels);
+  const auto it = metrics_.find(key);
+  if (it != metrics_.end()) return it->second;
+  Entry entry{name, std::move(labels), Counter{}};
+  return metrics_.emplace(key, std::move(entry)).first->second;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name,
+                                                    Labels labels) const {
+  const auto it = metrics_.find(name + '\x1f' + labelKey(std::move(labels)));
+  return it == metrics_.end() ? nullptr : &it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Labels labels) {
+  Entry& entry = lookup(name, std::move(labels));
+  WMSN_REQUIRE_MSG(std::holds_alternative<Counter>(entry.metric),
+                   "metric '" + name + "' already registered as another kind");
+  return std::get<Counter>(entry.metric);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  const std::string key = name + '\x1f' + labelKey(labels);
+  const auto it = metrics_.find(key);
+  if (it == metrics_.end()) {
+    Entry entry{name, std::move(labels), Gauge{}};
+    return std::get<Gauge>(
+        metrics_.emplace(key, std::move(entry)).first->second.metric);
+  }
+  WMSN_REQUIRE_MSG(std::holds_alternative<Gauge>(it->second.metric),
+                   "metric '" + name + "' already registered as another kind");
+  return std::get<Gauge>(it->second.metric);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> edges,
+                                      Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  const std::string key = name + '\x1f' + labelKey(labels);
+  const auto it = metrics_.find(key);
+  if (it == metrics_.end()) {
+    Entry entry{name, std::move(labels), Histogram(std::move(edges))};
+    return std::get<Histogram>(
+        metrics_.emplace(key, std::move(entry)).first->second.metric);
+  }
+  WMSN_REQUIRE_MSG(std::holds_alternative<Histogram>(it->second.metric),
+                   "metric '" + name + "' already registered as another kind");
+  Histogram& h = std::get<Histogram>(it->second.metric);
+  WMSN_REQUIRE_MSG(h.edges() == edges,
+                   "metric '" + name + "' re-registered with different edges");
+  return h;
+}
+
+const Counter* MetricsRegistry::findCounter(const std::string& name,
+                                            Labels labels) const {
+  const Entry* e = find(name, std::move(labels));
+  return e ? std::get_if<Counter>(&e->metric) : nullptr;
+}
+
+const Gauge* MetricsRegistry::findGauge(const std::string& name,
+                                        Labels labels) const {
+  const Entry* e = find(name, std::move(labels));
+  return e ? std::get_if<Gauge>(&e->metric) : nullptr;
+}
+
+const Histogram* MetricsRegistry::findHistogram(const std::string& name,
+                                                Labels labels) const {
+  const Entry* e = find(name, std::move(labels));
+  return e ? std::get_if<Histogram>(&e->metric) : nullptr;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [key, theirs] : other.metrics_) {
+    const auto mine = metrics_.find(key);
+    if (mine == metrics_.end()) {
+      metrics_.emplace(key, theirs);
+      continue;
+    }
+    Entry& entry = mine->second;
+    WMSN_REQUIRE_MSG(entry.metric.index() == theirs.metric.index(),
+                     "metric '" + entry.name +
+                         "' has different kinds across registries");
+    if (auto* c = std::get_if<Counter>(&entry.metric)) {
+      c->add(std::get<Counter>(theirs.metric).value());
+    } else if (auto* g = std::get_if<Gauge>(&entry.metric)) {
+      g->set(std::get<Gauge>(theirs.metric).value());
+    } else {
+      std::get<Histogram>(entry.metric)
+          .merge(std::get<Histogram>(theirs.metric));
+    }
+  }
+}
+
+std::string MetricsRegistry::json() const {
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const auto& [key, entry] : metrics_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\":\"" << jsonEscape(entry.name) << "\",\"labels\":";
+    appendLabels(os, entry.labels);
+    if (const auto* c = std::get_if<Counter>(&entry.metric)) {
+      os << ",\"type\":\"counter\",\"value\":" << c->value();
+    } else if (const auto* g = std::get_if<Gauge>(&entry.metric)) {
+      os << ",\"type\":\"gauge\",\"value\":" << formatDouble(g->value());
+    } else {
+      const Histogram& h = std::get<Histogram>(entry.metric);
+      os << ",\"type\":\"histogram\",\"count\":" << h.count()
+         << ",\"sum\":" << formatDouble(h.sum()) << ",\"buckets\":[";
+      for (std::size_t i = 0; i < h.counts().size(); ++i) {
+        if (i) os << ",";
+        os << "{\"le\":";
+        if (i < h.edges().size())
+          os << formatDouble(h.edges()[i]);
+        else
+          os << "\"inf\"";
+        os << ",\"count\":" << h.counts()[i] << "}";
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void MetricsRegistry::writeJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << json();
+  if (!out) throw std::runtime_error("failed writing " + path);
+}
+
+}  // namespace wmsn::obs

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace wmsn::obs {
+
+/// Metric labels: (key, value) pairs, e.g. {{"protocol","mlr"},{"node","7"}}.
+/// Stored sorted by key so equal label sets compare (and serialise) equal
+/// regardless of construction order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical serialisation of a label set: `k1=v1,k2=v2` in key order.
+/// Part of a metric's identity inside the registry.
+std::string labelKey(Labels labels);
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written point-in-time value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. `upperEdges` are inclusive upper bounds in
+/// strictly increasing order; an observation lands in the first bucket with
+/// x <= edge, or the implicit overflow (+inf) bucket past the last edge.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upperEdges);
+
+  void observe(double x);
+
+  const std::vector<double>& edges() const { return edges_; }
+  /// Per-bucket counts; size() == edges().size() + 1 (last = overflow).
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+  /// Adds another histogram's counts. Requires identical bucket edges.
+  void merge(const Histogram& other);
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// A registry of named, labelled metrics. Lookup creates on first use and
+/// returns a stable reference afterwards; (name, labels, kind) is the
+/// identity, so the same name may carry many label sets (one counter per
+/// node, say). Export order is deterministic — sorted by name then label
+/// key — so two runs that did the same work serialise byte-identically.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, Labels labels = {});
+  Gauge& gauge(const std::string& name, Labels labels = {});
+  /// Requires: an existing histogram under (name, labels) has the same
+  /// edges.
+  Histogram& histogram(const std::string& name, std::vector<double> edges,
+                       Labels labels = {});
+
+  /// nullptr when the metric does not exist (or is a different kind).
+  const Counter* findCounter(const std::string& name,
+                             Labels labels = {}) const;
+  const Gauge* findGauge(const std::string& name, Labels labels = {}) const;
+  const Histogram* findHistogram(const std::string& name,
+                                 Labels labels = {}) const;
+
+  std::size_t size() const { return metrics_.size(); }
+
+  /// Folds `other` in: counters and histograms add, gauges take the other
+  /// registry's value (latest-wins), absent metrics are copied. Requires
+  /// kind (and histogram edge) agreement for shared names.
+  void merge(const MetricsRegistry& other);
+
+  /// The full registry as a deterministic JSON document:
+  /// {"metrics":[{"name":...,"type":...,"labels":{...},...}, ...]}.
+  std::string json() const;
+  void writeJson(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::variant<Counter, Gauge, Histogram> metric;
+  };
+
+  Entry& lookup(const std::string& name, Labels labels);
+  const Entry* find(const std::string& name, Labels labels) const;
+
+  /// Keyed by name + '\x1f' + labelKey for deterministic iteration.
+  std::map<std::string, Entry> metrics_;
+};
+
+}  // namespace wmsn::obs

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace wmsn::obs {
+
+/// Fan-out point for observer callbacks (ns-3's trace-source idea): any
+/// number of named consumers attach to one signal and all of them fire, in
+/// attach order. Replaces the single-slot observer fields that made trace,
+/// viz and workload hooks silently evict each other. Attaching the same
+/// name twice is a precondition violation — a double-attach is always a
+/// wiring bug, never intent.
+template <typename... Args>
+class ObserverMux {
+ public:
+  using Handler = std::function<void(Args...)>;
+
+  void attach(const std::string& name, Handler handler) {
+    WMSN_REQUIRE_MSG(handler != nullptr, "observer '" + name + "' is empty");
+    WMSN_REQUIRE_MSG(!attached(name),
+                     "observer '" + name + "' is already attached");
+    observers_.emplace_back(name, std::move(handler));
+  }
+
+  /// Removes `name` if present; returns whether anything was detached.
+  bool detach(const std::string& name) {
+    for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+      if (it->first == name) {
+        observers_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool attached(const std::string& name) const {
+    for (const auto& [n, h] : observers_) {
+      if (n == name) return true;
+    }
+    return false;
+  }
+
+  bool empty() const { return observers_.empty(); }
+  std::size_t size() const { return observers_.size(); }
+
+  void notify(Args... args) const {
+    for (const auto& [name, handler] : observers_) handler(args...);
+  }
+
+ private:
+  std::vector<std::pair<std::string, Handler>> observers_;
+};
+
+}  // namespace wmsn::obs

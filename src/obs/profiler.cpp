@@ -1,0 +1,82 @@
+#include "obs/profiler.hpp"
+
+#include "util/require.hpp"
+
+namespace wmsn::obs {
+
+namespace {
+thread_local Profiler* tlCurrent = nullptr;
+}  // namespace
+
+const char* toString(Phase phase) {
+  switch (phase) {
+    case Phase::kEventDispatch: return "event-dispatch";
+    case Phase::kMacContention: return "mac-contention";
+    case Phase::kCrypto: return "crypto";
+    case Phase::kRouteMaintenance: return "route-maintenance";
+  }
+  return "unknown";
+}
+
+Profiler* Profiler::current() { return tlCurrent; }
+
+Profiler::Activation::Activation(Profiler* profiler) : previous_(tlCurrent) {
+  tlCurrent = profiler;
+}
+
+Profiler::Activation::~Activation() { tlCurrent = previous_; }
+
+void Profiler::enter(Phase phase) {
+  stack_.push_back({phase, std::chrono::steady_clock::now(), 0.0});
+}
+
+void Profiler::exit() {
+  WMSN_REQUIRE_MSG(!stack_.empty(), "profiler exit without matching enter");
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  const double inclusive =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    frame.start)
+          .count();
+  PhaseTotals& t = totals_[static_cast<std::size_t>(frame.phase)];
+  ++t.calls;
+  t.inclusiveSeconds += inclusive;
+  t.selfSeconds += inclusive - frame.childSeconds;
+  if (!stack_.empty()) stack_.back().childSeconds += inclusive;
+}
+
+void Profiler::merge(const Profiler& other) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    totals_[i].calls += other.totals_[i].calls;
+    totals_[i].inclusiveSeconds += other.totals_[i].inclusiveSeconds;
+    totals_[i].selfSeconds += other.totals_[i].selfSeconds;
+  }
+}
+
+bool Profiler::any() const {
+  for (const PhaseTotals& t : totals_) {
+    if (t.calls > 0) return true;
+  }
+  return false;
+}
+
+TextTable Profiler::table() const {
+  double totalSelf = 0.0;
+  for (const PhaseTotals& t : totals_) totalSelf += t.selfSeconds;
+
+  TextTable table({"phase", "calls", "self ms", "incl ms", "self %"});
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const PhaseTotals& t = totals_[i];
+    if (t.calls == 0) continue;
+    table.addRow({toString(static_cast<Phase>(i)), TextTable::num(t.calls),
+                  TextTable::num(t.selfSeconds * 1e3, 2),
+                  TextTable::num(t.inclusiveSeconds * 1e3, 2),
+                  TextTable::num(
+                      totalSelf > 0.0 ? 100.0 * t.selfSeconds / totalSelf
+                                      : 0.0,
+                      1)});
+  }
+  return table;
+}
+
+}  // namespace wmsn::obs

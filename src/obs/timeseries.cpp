@@ -1,0 +1,144 @@
+#include "obs/timeseries.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/require.hpp"
+#include "util/table.hpp"
+
+namespace wmsn::obs {
+
+namespace {
+std::string formatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string depthBucketName(const std::vector<double>& edges, std::size_t i) {
+  if (i < edges.size())
+    return "qdepth_le_" + std::to_string(static_cast<long>(edges[i]));
+  return "qdepth_over";
+}
+}  // namespace
+
+std::vector<double> TimeSeriesRecorder::defaultDepthEdges() {
+  return {1, 2, 4, 8, 16, 32};
+}
+
+TimeSeriesRecorder::TimeSeriesRecorder(std::size_t gatewayCount,
+                                       std::vector<double> queueDepthEdges)
+    : gatewayCount_(gatewayCount), depthEdges_(std::move(queueDepthEdges)) {}
+
+void TimeSeriesRecorder::add(RoundSample sample) {
+  WMSN_REQUIRE_MSG(sample.perGatewayDeliveries.size() == gatewayCount_,
+                   "per-gateway delivery vector does not match gateway count");
+  WMSN_REQUIRE_MSG(sample.queueDepthHist.size() == depthEdges_.size() + 1,
+                   "queue-depth histogram does not match bucket edges");
+  samples_.push_back(std::move(sample));
+}
+
+std::vector<std::string> TimeSeriesRecorder::csvHeader() const {
+  std::vector<std::string> header = {
+      "run",          "round",          "time_s",
+      "generated",    "delivered",      "pdr_round",
+      "pdr_cum",      "control_bytes",  "data_bytes",
+      "queue_drops",  "mac_drops",      "collisions",
+      "queue_peak",   "queue_mean",     "energy_min_j",
+      "energy_mean_j","energy_max_j",   "energy_d2",
+      "alive_sensors"};
+  for (std::size_t g = 0; g < gatewayCount_; ++g)
+    header.push_back("gw" + std::to_string(g) + "_deliveries");
+  for (std::size_t i = 0; i <= depthEdges_.size(); ++i)
+    header.push_back(depthBucketName(depthEdges_, i));
+  return header;
+}
+
+void TimeSeriesRecorder::appendCsv(CsvWriter& csv,
+                                   const std::string& runLabel) const {
+  for (const RoundSample& s : samples_) {
+    std::vector<std::string> row = {
+        runLabel,
+        TextTable::num(s.round),
+        TextTable::num(s.timeSeconds, 3),
+        TextTable::num(s.generated),
+        TextTable::num(s.delivered),
+        TextTable::num(s.pdrRound, 4),
+        TextTable::num(s.pdrCumulative, 4),
+        TextTable::num(s.controlBytes),
+        TextTable::num(s.dataBytes),
+        TextTable::num(s.queueDrops),
+        TextTable::num(s.macDrops),
+        TextTable::num(s.collisions),
+        TextTable::num(s.queuePeakDepth),
+        TextTable::num(s.queueMeanDepth, 4),
+        formatDouble(s.energyMinJ),
+        formatDouble(s.energyMeanJ),
+        formatDouble(s.energyMaxJ),
+        formatDouble(s.energyVarianceD2),
+        TextTable::num(s.aliveSensors)};
+    for (const std::uint64_t d : s.perGatewayDeliveries)
+      row.push_back(TextTable::num(d));
+    for (const std::uint64_t c : s.queueDepthHist)
+      row.push_back(TextTable::num(c));
+    csv.addRow(std::move(row));
+  }
+}
+
+CsvWriter TimeSeriesRecorder::csv(const std::string& runLabel) const {
+  CsvWriter out(csvHeader());
+  appendCsv(out, runLabel);
+  return out;
+}
+
+void TimeSeriesRecorder::writeCsv(const std::string& path,
+                                  const std::string& runLabel) const {
+  csv(runLabel).writeFile(path);
+}
+
+std::string TimeSeriesRecorder::json() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const RoundSample& s = samples_[i];
+    os << (i ? ",\n " : "\n ");
+    os << "{\"round\":" << s.round
+       << ",\"time_s\":" << formatDouble(s.timeSeconds)
+       << ",\"generated\":" << s.generated
+       << ",\"delivered\":" << s.delivered
+       << ",\"pdr_round\":" << formatDouble(s.pdrRound)
+       << ",\"pdr_cum\":" << formatDouble(s.pdrCumulative)
+       << ",\"control_bytes\":" << s.controlBytes
+       << ",\"data_bytes\":" << s.dataBytes
+       << ",\"queue_drops\":" << s.queueDrops
+       << ",\"mac_drops\":" << s.macDrops
+       << ",\"collisions\":" << s.collisions
+       << ",\"queue_peak\":" << s.queuePeakDepth
+       << ",\"queue_mean\":" << formatDouble(s.queueMeanDepth)
+       << ",\"energy_min_j\":" << formatDouble(s.energyMinJ)
+       << ",\"energy_mean_j\":" << formatDouble(s.energyMeanJ)
+       << ",\"energy_max_j\":" << formatDouble(s.energyMaxJ)
+       << ",\"energy_d2\":" << formatDouble(s.energyVarianceD2)
+       << ",\"alive_sensors\":" << s.aliveSensors
+       << ",\"gateway_deliveries\":[";
+    for (std::size_t g = 0; g < s.perGatewayDeliveries.size(); ++g)
+      os << (g ? "," : "") << s.perGatewayDeliveries[g];
+    os << "],\"queue_depth_hist\":[";
+    for (std::size_t b = 0; b < s.queueDepthHist.size(); ++b)
+      os << (b ? "," : "") << s.queueDepthHist[b];
+    os << "]}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+void TimeSeriesRecorder::writeJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << json();
+  if (!out) throw std::runtime_error("failed writing " + path);
+}
+
+}  // namespace wmsn::obs

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace wmsn::obs {
+
+/// One round's snapshot of the simulation — the time-series row. Traffic and
+/// congestion fields are per-round deltas (what happened *in* this round);
+/// the energy distribution is cumulative consumption at the round boundary,
+/// which is what the paper's D² trajectory (eq. 1) plots.
+struct RoundSample {
+  std::uint32_t round = 0;
+  double timeSeconds = 0.0;  ///< simulated time at the round boundary
+
+  // Traffic, this round.
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  double pdrRound = 0.0;        ///< delivered/generated within the round
+  double pdrCumulative = 0.0;   ///< run-so-far delivery ratio
+  std::uint64_t controlBytes = 0;
+  std::uint64_t dataBytes = 0;
+
+  // Congestion, this round.
+  std::uint64_t queueDrops = 0;
+  std::uint64_t macDrops = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t queuePeakDepth = 0;  ///< deepest queue on any node
+  double queueMeanDepth = 0.0;       ///< time-weighted mean over all nodes
+
+  // Load balance: first deliveries per gateway ordinal, this round.
+  std::vector<std::uint64_t> perGatewayDeliveries;
+
+  // Sensor energy distribution, cumulative at the boundary.
+  double energyMinJ = 0.0;
+  double energyMeanJ = 0.0;
+  double energyMaxJ = 0.0;
+  double energyVarianceD2 = 0.0;  ///< the paper's D² (eq. 1)
+  std::uint64_t aliveSensors = 0;
+
+  /// Nodes bucketed by their peak queue depth this round; one count per
+  /// recorder bucket (last = overflow).
+  std::vector<std::uint64_t> queueDepthHist;
+};
+
+/// Accumulates RoundSamples and serialises them as CSV or JSON. The column
+/// set adapts to the run's shape (gateway count, queue-depth bucket edges),
+/// fixed at construction so every row agrees with the header.
+class TimeSeriesRecorder {
+ public:
+  TimeSeriesRecorder(std::size_t gatewayCount,
+                     std::vector<double> queueDepthEdges = defaultDepthEdges());
+
+  /// Depth buckets used when none are supplied: ≤1, ≤2, ≤4, ≤8, ≤16, ≤32.
+  static std::vector<double> defaultDepthEdges();
+
+  std::size_t gatewayCount() const { return gatewayCount_; }
+  const std::vector<double>& queueDepthEdges() const { return depthEdges_; }
+
+  /// Requires sample.perGatewayDeliveries.size() == gatewayCount() and
+  /// sample.queueDepthHist.size() == queueDepthEdges().size() + 1.
+  void add(RoundSample sample);
+
+  std::size_t rounds() const { return samples_.size(); }
+  const std::vector<RoundSample>& samples() const { return samples_; }
+
+  /// Column names, in row order. A leading "run" column carries the
+  /// caller-chosen run label so multi-seed series concatenate cleanly.
+  std::vector<std::string> csvHeader() const;
+  /// Appends this series' rows (requires `csv` built from csvHeader()).
+  void appendCsv(CsvWriter& csv, const std::string& runLabel) const;
+  CsvWriter csv(const std::string& runLabel) const;
+  void writeCsv(const std::string& path, const std::string& runLabel) const;
+
+  /// JSON array of per-round objects.
+  std::string json() const;
+  void writeJson(const std::string& path) const;
+
+ private:
+  std::size_t gatewayCount_;
+  std::vector<double> depthEdges_;
+  std::vector<RoundSample> samples_;
+};
+
+}  // namespace wmsn::obs

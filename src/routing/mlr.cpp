@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/profiler.hpp"
 #include "util/require.hpp"
 
 namespace wmsn::routing {
@@ -96,6 +97,7 @@ std::size_t MlrRouting::knownEntryCount() const {
 
 void MlrRouting::announceMove(std::uint16_t newPlace, std::uint16_t prevPlace,
                               std::uint32_t round) {
+  WMSN_PROFILE_PHASE(kRouteMaintenance);
   WMSN_REQUIRE_MSG(isGateway(), "only gateways announce moves");
   myPlace_ = newPlace;
   GatewayMoveMsg msg;
@@ -142,6 +144,7 @@ void MlrRouting::handleMove(const net::Packet& packet, net::NodeId from) {
 
 void MlrRouting::applyMove(const GatewayMoveMsg& msg, net::NodeId from,
                            bool reflood) {
+  WMSN_PROFILE_PHASE(kRouteMaintenance);
   if (msg.newPlace >= table_.size()) return;  // malformed
   if (msg.gateway == self()) return;
 

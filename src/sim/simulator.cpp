@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include "obs/profiler.hpp"
 #include "util/require.hpp"
 
 namespace wmsn::sim {
@@ -18,6 +19,7 @@ void Simulator::dispatchOne() {
   EventQueue::Event ev = queue_.pop();
   now_ = ev.time;
   ++eventsProcessed_;
+  WMSN_PROFILE_PHASE(kEventDispatch);
   ev.action();
 }
 

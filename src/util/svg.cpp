@@ -25,11 +25,6 @@ std::string escape(const std::string& s) {
   return out;
 }
 
-std::string num(double v) {
-  std::ostringstream os;
-  os << v;
-  return os.str();
-}
 }  // namespace
 
 SvgWriter::SvgWriter(double width, double height, double margin)

@@ -163,7 +163,9 @@ TEST(SpeckCtr, RoundTripVariousLengths) {
       plain[i] = static_cast<std::uint8_t>(i);
     const Bytes cipher = ctr.encrypt(99, plain);
     EXPECT_EQ(ctr.decrypt(99, cipher), plain) << "length " << n;
-    if (n > 0) EXPECT_NE(cipher, plain);
+    if (n > 0) {
+      EXPECT_NE(cipher, plain);
+    }
   }
 }
 

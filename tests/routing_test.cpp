@@ -309,7 +309,9 @@ TEST(Leach, HeadElectionRespectsRotation) {
     net.stack->beginRound(r);
     net.run(0.5);
     if (node.isClusterHead()) {
-      if (wasHead) EXPECT_GE(r - lastHead, 2u);
+      if (wasHead) {
+        EXPECT_GE(r - lastHead, 2u);
+      }
       lastHead = r;
       wasHead = true;
       ++headCount;
@@ -432,8 +434,6 @@ TEST(Spr, UnreachableGatewayDropsAfterRetries) {
 }
 
 // --- MLR -------------------------------------------------------------------------------
-
-MlrParams mlrDefaults() { return MlrParams{}; }
 
 /// Gateways at both ends of the line; places = the two end positions.
 struct MlrNet : LineNet {
