@@ -1,0 +1,162 @@
+// FAULT — the reliability benchmark behind §3/§4.2's fault-tolerance claim:
+// "WSNs cannot work completely if the single sink node fails", while the
+// multi-gateway WMSN re-homes traffic onto the surviving WMGs. We drive the
+// same sensor field through a matrix of fault scenarios (permanent gateway
+// crash, gateway churn, sensor churn, bursty link loss) for each routing
+// protocol and report PDR plus the recovery telemetry collected by
+// wmsn::fault — outage episodes, recovery latency, PDR during outage.
+//
+// Reproduce any cell from the command line, e.g. the gw-crash column:
+//   ./wmsn_cli --protocol mlr --gateways 3 --rounds 12 --fault-plan gw0@3
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace wmsn;
+
+struct ProtocolSetup {
+  std::string label;
+  core::ProtocolKind kind = core::ProtocolKind::kSpr;
+  std::size_t gateways = 3;
+  bool failover = true;
+};
+
+struct FaultScenario {
+  std::string label;
+  fault::FaultPlan plan;
+};
+
+core::ScenarioConfig makeConfig(const ProtocolSetup& p,
+                                const FaultScenario& f) {
+  core::ScenarioConfig cfg;
+  cfg.protocol = p.kind;
+  cfg.sensorCount = 80;
+  cfg.gatewayCount = p.gateways;
+  cfg.feasiblePlaceCount = 6;
+  cfg.rounds = 12;
+  cfg.packetsPerSensorPerRound = 2;
+  cfg.seed = 7;
+  cfg.faults = f.plan;
+  if (p.failover) {
+    cfg.mlr.failover = true;
+    cfg.mlr.reliableForwarding = true;
+    cfg.spr.retryBackoff = sim::Time::seconds(0.2);
+  }
+  cfg.obs.metrics = true;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parseArgs(argc, argv);
+  bench::banner("FAULT", "delivery and recovery under injected faults",
+                "multiple gateways + route maintenance keep the mesh "
+                "delivering through failures a single sink cannot survive "
+                "(§1, §3, §4.2)");
+
+  const std::vector<ProtocolSetup> protocols = {
+      {"spr m=1", core::ProtocolKind::kSpr, 1, false},
+      {"spr m=3", core::ProtocolKind::kSpr, 3, true},
+      {"mlr m=3", core::ProtocolKind::kMlr, 3, true},
+      {"secmlr m=3", core::ProtocolKind::kSecMlr, 3, true},
+  };
+
+  std::vector<FaultScenario> scenarios;
+  scenarios.push_back({"baseline", {}});
+  {
+    FaultScenario s{"gw-crash", {}};  // gateway 0 dies entering round 3
+    s.plan.events.push_back({3, fault::FaultTargetKind::kGateway, 0, false});
+    scenarios.push_back(std::move(s));
+  }
+  {
+    FaultScenario s{"gw-churn", {}};
+    s.plan.gatewayMtbfRounds = 8;
+    s.plan.gatewayMttrRounds = 4;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    FaultScenario s{"sensor-churn", {}};
+    s.plan.sensorMtbfRounds = 30;
+    s.plan.sensorMttrRounds = 5;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    FaultScenario s{"burst-loss", {}};  // ~10% steady-state frame loss
+    s.plan.linkLoss.enabled = true;
+    s.plan.linkLoss.pGoodToBad = s.plan.linkLoss.pBadToGood * 0.1 / 0.9;
+    scenarios.push_back(std::move(s));
+  }
+
+  // One flat batch over the whole matrix: runScenariosParallel preserves
+  // input order, so results[s * protocols + p] is (scenario s, protocol p).
+  std::vector<core::ScenarioConfig> configs;
+  for (const auto& s : scenarios)
+    for (const auto& p : protocols) configs.push_back(makeConfig(p, s));
+  const auto results = core::runScenariosParallel(configs, args.threads);
+  auto at = [&](std::size_t s, std::size_t p) -> const core::RunResult& {
+    return results[s * protocols.size() + p];
+  };
+
+  std::vector<std::string> header{"fault scenario"};
+  for (const auto& p : protocols) header.push_back(p.label);
+  TextTable pdr(header);
+  std::vector<std::string> csvHeader{"scenario", "protocol", "pdr",
+                                     "outage_episodes", "unrecovered",
+                                     "mean_recovery_latency_s",
+                                     "pdr_during_outage", "link_fault_drops"};
+  CsvWriter csv(csvHeader);
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    std::vector<std::string> row{scenarios[s].label};
+    for (std::size_t p = 0; p < protocols.size(); ++p) {
+      const auto& r = at(s, p);
+      row.push_back(TextTable::num(r.deliveryRatio, 3));
+      csv.addRow({scenarios[s].label, protocols[p].label,
+                  TextTable::num(r.deliveryRatio, 4),
+                  TextTable::num(r.faults.outageEpisodes),
+                  TextTable::num(r.faults.unrecoveredOutages),
+                  TextTable::num(r.faults.meanRecoveryLatencyS, 2),
+                  TextTable::num(r.faults.pdrDuringOutage, 4),
+                  TextTable::num(r.faults.linkFaultDrops)});
+    }
+    pdr.addRow(row);
+  }
+  core::printSection(std::cout, "overall PDR by fault scenario", pdr);
+
+  TextTable recovery({"protocol", "outages", "unrecovered",
+                      "mean recovery latency (s)", "PDR during outage"});
+  for (std::size_t p = 0; p < protocols.size(); ++p) {
+    const auto& f = at(1, p).faults;  // the gw-crash scenario
+    recovery.addRow({protocols[p].label, TextTable::num(f.outageEpisodes),
+                     TextTable::num(f.unrecoveredOutages),
+                     TextTable::num(f.meanRecoveryLatencyS, 2),
+                     TextTable::num(f.pdrDuringOutage, 3)});
+  }
+  core::printSection(
+      std::cout,
+      "recovery telemetry under the permanent gateway-0 crash (round 3)",
+      recovery);
+
+  // The recovery-latency histogram lands in the metrics registry too — the
+  // same wmsn_fault_* family --metrics-out exports from wmsn_cli.
+  const auto& mlrCrash = at(1, 2);
+  if (mlrCrash.observations) {
+    const std::string json = mlrCrash.observations->metrics.json();
+    std::cout << "metrics registry carries wmsn_fault_recovery_latency_s: "
+              << (json.find("wmsn_fault_recovery_latency_s") !=
+                          std::string::npos
+                      ? "yes"
+                      : "NO (bug)")
+              << "\n\n";
+  }
+
+  std::cout << "expected shape: with its only gateway dead, spr m=1 "
+               "collapses for the remaining rounds; the m=3 columns re-home "
+               "onto the surviving gateways within a round or two, so their "
+               "gw-crash PDR stays close to baseline and their outage "
+               "episodes close quickly. Churn and burst loss cost a few "
+               "points of PDR but never strand the mesh.\n";
+  bench::maybeWriteCsv(args, csv);
+  return 0;
+}

@@ -72,6 +72,17 @@ void usage() {
       "  --attack <name>       replay|spoof|selective|sinkhole|sybil|\n"
       "                        hello-flood|wormhole|ack-spoof\n"
       "  --attackers <k>       captured-sensor count        (default 3)\n"
+      "  --fault-plan <spec>   scheduled crash/recover events, e.g.\n"
+      "                        \"gw0@3,gw0+@6,s17@4\" (s<n> sensor, gw<n>\n"
+      "                        gateway, + = recovery, @r = round)\n"
+      "  --node-mtbf <rounds>  mean rounds between random sensor crashes\n"
+      "  --node-mttr <rounds>  mean rounds until a crashed sensor recovers\n"
+      "  --gateway-mtbf <r>    mean rounds between random gateway failures\n"
+      "  --gateway-mttr <r>    mean rounds until a failed gateway recovers\n"
+      "  --link-loss <p>       Gilbert-Elliott bursty loss, steady-state\n"
+      "                        fraction p in [0,1)\n"
+      "  --no-failover         keep legacy routing under faults (fault flags\n"
+      "                        otherwise enable MLR failover + SPR backoff)\n"
       "  --svg <path>          write the final topology/energy heat map\n"
       "  --trace <path>        write a per-frame event trace\n"
       "  --trace-format <f>    csv|jsonl trace serialisation (default csv)\n"
@@ -109,6 +120,8 @@ int main(int argc, char** argv) {
   obs::TraceFormat traceFormat = obs::TraceFormat::kCsv;
   unsigned repeat = 1;
   unsigned threads = 0;
+  bool anyFaultFlag = false;
+  bool noFailover = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -211,6 +224,44 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--attackers") {
       cfg.attackerCount = std::stoul(next());
+    } else if (arg == "--fault-plan") {
+      try {
+        cfg.faults.events = fault::parseFaultPlan(next());
+      } catch (const std::exception& e) {
+        std::cerr << "bad --fault-plan: " << e.what() << "\n";
+        return 2;
+      }
+      anyFaultFlag = true;
+    } else if (arg == "--node-mtbf") {
+      cfg.faults.sensorMtbfRounds =
+          static_cast<std::uint32_t>(std::stoul(next()));
+      anyFaultFlag = true;
+    } else if (arg == "--node-mttr") {
+      cfg.faults.sensorMttrRounds =
+          static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--gateway-mtbf") {
+      cfg.faults.gatewayMtbfRounds =
+          static_cast<std::uint32_t>(std::stoul(next()));
+      anyFaultFlag = true;
+    } else if (arg == "--gateway-mttr") {
+      cfg.faults.gatewayMttrRounds =
+          static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--link-loss") {
+      const double p = std::stod(next());
+      if (p < 0.0 || p >= 1.0) {
+        std::cerr << "--link-loss expects a fraction in [0,1)\n";
+        return 2;
+      }
+      if (p > 0.0) {
+        // Solve the two-state chain for the requested steady-state loss,
+        // keeping the default burst length (1/pBadToGood frames).
+        cfg.faults.linkLoss.enabled = true;
+        cfg.faults.linkLoss.pGoodToBad =
+            cfg.faults.linkLoss.pBadToGood * p / (1.0 - p);
+        anyFaultFlag = true;
+      }
+    } else if (arg == "--no-failover") {
+      noFailover = true;
     } else if (arg == "--static") {
       cfg.gatewaysMove = false;
     } else if (arg == "--plan") {
@@ -252,6 +303,15 @@ int main(int argc, char** argv) {
       std::cerr << "unknown option: " << arg << " (try --help)\n";
       return 2;
     }
+  }
+
+  if (anyFaultFlag && !noFailover) {
+    // Fault runs get the hardened routing by default: MLR/SecMLR heartbeat
+    // failover and SPR discovery backoff. --no-failover ablates back to the
+    // legacy behaviour for comparison.
+    cfg.mlr.failover = true;
+    if (cfg.spr.retryBackoff.us == 0)
+      cfg.spr.retryBackoff = sim::Time::seconds(0.2);
   }
 
   try {
@@ -354,6 +414,17 @@ int main(int argc, char** argv) {
     if (!result.perGatewayDeliveries.empty())
       core::printSection(std::cout, "per-gateway load",
                          core::gatewayLoadTable(result));
+    if (cfg.faults.any()) {
+      const auto& f = result.faults;
+      std::cout << "faults: sensor crashes=" << f.sensorCrashes << " (recovered "
+                << f.sensorRecoveries << "), gateway failures="
+                << f.gatewayFailures << " (recovered " << f.gatewayRecoveries
+                << "), link drops=" << f.linkFaultDrops << "\n"
+                << "outages: episodes=" << f.outageEpisodes << " (unrecovered "
+                << f.unrecoveredOutages << "), mean recovery latency="
+                << f.meanRecoveryLatencyS << " s, PDR during outage="
+                << f.pdrDuringOutage << "\n";
+    }
     if (result.rejectedMacs + result.rejectedReplays + result.rejectedTesla >
         0)
       std::cout << "security rejections: mac=" << result.rejectedMacs

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Documentation drift check, run from ctest (-L docs): every flag wmsn_cli
+# advertises in --help must be documented in README.md, EXPERIMENTS.md or
+# docs/METRICS.md. Adding a flag without documenting it fails the suite.
+#
+# usage: check_docs.sh <path-to-wmsn_cli> <repo-source-dir>
+set -euo pipefail
+
+cli="${1:?usage: check_docs.sh <wmsn_cli> <source-dir>}"
+srcdir="${2:?usage: check_docs.sh <wmsn_cli> <source-dir>}"
+docs=("$srcdir/README.md" "$srcdir/EXPERIMENTS.md" "$srcdir/docs/METRICS.md")
+
+for doc in "${docs[@]}"; do
+  if [ ! -f "$doc" ]; then
+    echo "check_docs: missing documentation file: $doc" >&2
+    exit 1
+  fi
+done
+
+# Flags are the "  --name" column of the usage text.
+flags=$("$cli" --help | sed -n 's/^ *\(--[a-z][a-z-]*\).*/\1/p' | sort -u)
+if [ -z "$flags" ]; then
+  echo "check_docs: extracted no flags from '$cli --help'" >&2
+  exit 1
+fi
+
+status=0
+for flag in $flags; do
+  if ! grep -q -- "$flag" "${docs[@]}"; then
+    echo "check_docs: flag '$flag' is advertised by --help but documented" \
+         "in none of: ${docs[*]}" >&2
+    status=1
+  fi
+done
+
+count=$(echo "$flags" | wc -l)
+if [ "$status" -eq 0 ]; then
+  echo "check_docs: all $count wmsn_cli flags are documented"
+fi
+exit "$status"

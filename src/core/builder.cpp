@@ -113,6 +113,10 @@ std::unique_ptr<Scenario> assemble(const ScenarioConfig& config,
   net::SensorNetworkParams netParams;
   netParams.energy = cfg.energy;
   netParams.medium = cfg.medium;
+  // Gilbert–Elliott link loss rides in via the fault plan; seed the chains
+  // from their own constant so the medium's channel stream is untouched.
+  netParams.medium.linkLoss = cfg.faults.linkLoss;
+  netParams.medium.linkLossSeed = cfg.seed ^ 0xfa117;
   netParams.mac = cfg.mac;
   netParams.queue = cfg.macQueue;
   netParams.gatewaysBatteryLimited = cfg.gatewaysBatteryLimited;

@@ -43,6 +43,26 @@ void ScenarioConfig::validate() const {
                    "trafficStart must fall inside the round");
   for (const GatewayFailure& f : failures)
     WMSN_REQUIRE_MSG(f.gatewayOrdinal < gatewayCount, "failure ordinal");
+  for (const fault::FaultEvent& e : faults.events) {
+    const std::size_t limit = e.target == fault::FaultTargetKind::kSensor
+                                  ? sensorCount
+                                  : gatewayCount;
+    WMSN_REQUIRE_MSG(e.ordinal < limit, "fault plan event ordinal");
+  }
+  {
+    const auto& ge = faults.linkLoss;
+    WMSN_REQUIRE_MSG(ge.pGoodToBad >= 0.0 && ge.pGoodToBad <= 1.0,
+                     "linkLoss.pGoodToBad");
+    WMSN_REQUIRE_MSG(ge.pBadToGood >= 0.0 && ge.pBadToGood <= 1.0,
+                     "linkLoss.pBadToGood");
+    WMSN_REQUIRE_MSG(ge.lossGood >= 0.0 && ge.lossGood <= 1.0,
+                     "linkLoss.lossGood");
+    WMSN_REQUIRE_MSG(ge.lossBad >= 0.0 && ge.lossBad <= 1.0,
+                     "linkLoss.lossBad");
+    if (ge.enabled)
+      WMSN_REQUIRE_MSG(ge.pGoodToBad + ge.pBadToGood > 0.0,
+                       "linkLoss needs at least one nonzero transition");
+  }
   if (attack.kind == attacks::AttackKind::kWormhole)
     WMSN_REQUIRE_MSG(attackerCount == 2 || attack.attackers.size() == 2,
                      "wormhole needs exactly 2 attackers");

@@ -6,6 +6,7 @@
 
 #include "attacks/adversary.hpp"
 #include "core/topology_control.hpp"
+#include "fault/plan.hpp"
 #include "net/energy.hpp"
 #include "net/medium.hpp"
 #include "net/sensor_network.hpp"
@@ -148,6 +149,12 @@ struct ScenarioConfig {
 
   // --- fault & attack injection ------------------------------------------------------
   std::vector<GatewayFailure> failures;
+  /// Fault-injection plan (src/fault): scheduled and seeded-random
+  /// crash/recover events plus Gilbert–Elliott link loss. Empty by default;
+  /// with an empty plan the run is byte-identical to a build without the
+  /// fault subsystem. Random processes derive from `seed`, so replay is
+  /// exact at any --threads.
+  fault::FaultPlan faults;
   attacks::AttackPlan attack;
   std::size_t attackerCount = 0;  ///< auto-picks sensors if attack.attackers empty
 

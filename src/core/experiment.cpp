@@ -14,17 +14,52 @@ Experiment::Experiment(Scenario& scenario)
       trafficRng_(scenario.config.seed ^ 0x7aff1c),
       generator_(workload::makeGenerator(
           scenario.config.workload, scenario.config.width,
-          scenario.config.height, scenario.config.seed ^ 0x3a11c0)) {}
+          scenario.config.height, scenario.config.seed ^ 0x3a11c0)) {
+  const ScenarioConfig& cfg = scenario.config;
+  if (cfg.faults.any()) {
+    faultInjector_ = std::make_unique<fault::FaultInjector>(
+        cfg.faults, scenario.network->sensorIds().size(),
+        scenario.network->gatewayIds().size(), cfg.seed ^ 0xfa01);
+    // An outage closes when round PDR climbs back to 90% of the pre-fault
+    // baseline — service-level recovery, not hardware repair.
+    recoveryTracker_ = std::make_unique<fault::RecoveryTracker>(
+        0.9, cfg.roundDuration.seconds());
+  }
+}
+
+void Experiment::applyFaults(std::uint32_t round) {
+  Scenario& s = scenario_;
+  newFailuresThisRound_ = 0;
+  if (!faultInjector_) return;
+  for (const fault::FaultEvent& e : faultInjector_->actionsAtRound(round)) {
+    const auto& ids = e.target == fault::FaultTargetKind::kSensor
+                          ? s.network->sensorIds()
+                          : s.network->gatewayIds();
+    const net::NodeId id = ids.at(e.ordinal);
+    s.network->node(id).setFailed(!e.recover);
+    if (e.recover) {
+      // A repaired sensor rejoins with amnesia: whatever routes it held
+      // before the crash went stale while it was dark.
+      if (e.target == fault::FaultTargetKind::kSensor)
+        s.stack->at(id).onTopologyChanged();
+    } else {
+      ++newFailuresThisRound_;
+    }
+  }
+}
 
 void Experiment::beginRound(std::uint32_t round) {
   Scenario& s = scenario_;
   const ScenarioConfig& cfg = s.config;
 
-  // Scheduled gateway failures (fault injection) happen at the boundary.
+  // Fault injection happens at the boundary: the plan's crash/recover
+  // actions first, then the legacy permanent gateway kills.
+  applyFaults(round);
   for (const GatewayFailure& f : cfg.failures) {
     if (f.round != round) continue;
     const net::NodeId gw = s.network->gatewayIds().at(f.gatewayOrdinal);
     s.network->node(gw).kill(s.simulator.now());
+    ++newFailuresThisRound_;
   }
 
   // §4.4 sleep scheduling: at epoch boundaries rotate the awake set and
@@ -64,7 +99,10 @@ void Experiment::beginRound(std::uint32_t round) {
       announcers.push_back(g);
   } else {
     announcers = s.schedule->movedGateways(round);
-    if (placeBased && (cfg.mlr.rebuildEveryRound || sleepEpoch)) {
+    // Failover mode turns the announcement into a per-round heartbeat: a
+    // gateway that falls silent ages out of the sensors' place tables.
+    if (placeBased &&
+        (cfg.mlr.rebuildEveryRound || sleepEpoch || cfg.mlr.failover)) {
       announcers.clear();
       for (std::size_t g = 0; g < s.network->gatewayIds().size(); ++g)
         announcers.push_back(g);
@@ -163,8 +201,9 @@ RunResult Experiment::run() {
   if (cfg.obs.any() && !observations_) {
     observations_ = std::make_shared<RunObservations>();
     if (cfg.obs.timeseries) {
-      observations_->timeseries =
-          obs::TimeSeriesRecorder(s.network->gatewayIds().size());
+      observations_->timeseries = obs::TimeSeriesRecorder(
+          s.network->gatewayIds().size(),
+          obs::TimeSeriesRecorder::defaultDepthEdges(), cfg.faults.any());
       // Round sampling rides the same mux as user observers; the cursor is
       // owned by the lambda and lives as long as the experiment.
       auto cursor =
@@ -194,6 +233,14 @@ RunResult Experiment::run() {
     scheduleTraffic(round, roundStart);
     s.simulator.runUntil(roundStart + cfg.roundDuration);
     completed = round + 1;
+    if (recoveryTracker_) {
+      const net::TrafficStats& t = s.network->stats();
+      recoveryTracker_->onRoundEnd(round, t.generated() - faultPrevGenerated_,
+                                   t.delivered() - faultPrevDelivered_,
+                                   newFailuresThisRound_);
+      faultPrevGenerated_ = t.generated();
+      faultPrevDelivered_ = t.delivered();
+    }
     roundObservers_.notify(round);
     if (cfg.stopAtFirstDeath && s.network->firstSensorDeathTime()) break;
   }
@@ -269,10 +316,35 @@ RunResult Experiment::collect(std::uint32_t roundsCompleted) {
     r.attackerStats =
         attacks::collectAttackerStats(*s.stack, s.config.attack);
 
+  if (faultInjector_) {
+    r.faults.sensorCrashes = faultInjector_->sensorCrashes();
+    r.faults.sensorRecoveries = faultInjector_->sensorRecoveries();
+    r.faults.gatewayFailures = faultInjector_->gatewayFailures();
+    r.faults.gatewayRecoveries = faultInjector_->gatewayRecoveries();
+    r.faults.failedSensorsAtEnd = s.network->failedSensorCount();
+    r.faults.failedGatewaysAtEnd = s.network->failedGatewayCount();
+  }
+  if (s.config.faults.linkLoss.enabled)
+    r.faults.linkFaultDrops = s.network->medium().framesLinkFaultDropped();
+  if (recoveryTracker_) {
+    r.faults.outageEpisodes = recoveryTracker_->episodes().size();
+    r.faults.unrecoveredOutages = recoveryTracker_->unrecovered();
+    r.faults.meanRecoveryLatencyS =
+        recoveryTracker_->meanRecoveryLatencySeconds();
+    r.faults.pdrDuringOutage = recoveryTracker_->pdrDuringOutage();
+    r.faults.recoveryLatenciesS = recoveryTracker_->recoveryLatenciesSeconds();
+  }
+
   r.eventsProcessed = s.simulator.eventsProcessed();
 
   if (observations_) {
-    if (s.config.obs.metrics) fillRegistry(s, r, observations_->metrics);
+    if (s.config.obs.metrics) {
+      fillRegistry(s, r, observations_->metrics);
+      // Fault metrics only appear when a plan was active, so fault-free
+      // metrics JSON stays byte-identical to older builds.
+      if (s.config.faults.any())
+        fillFaultMetrics(s, r, observations_->metrics);
+    }
     r.observations = observations_;
   }
   return r;

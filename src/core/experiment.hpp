@@ -8,9 +8,30 @@
 #include "core/builder.hpp"
 #include "core/metrics.hpp"
 #include "core/observability.hpp"
+#include "fault/injector.hpp"
+#include "fault/recovery.hpp"
 #include "obs/mux.hpp"
 
 namespace wmsn::core {
+
+/// What fault injection did to a run, and how the network coped. All zeros
+/// (and empty vectors) when the scenario's FaultPlan is empty.
+struct FaultSummary {
+  std::uint64_t sensorCrashes = 0;
+  std::uint64_t sensorRecoveries = 0;
+  std::uint64_t gatewayFailures = 0;
+  std::uint64_t gatewayRecoveries = 0;
+  std::uint64_t linkFaultDrops = 0;  ///< frames lost to Gilbert–Elliott
+  std::size_t failedSensorsAtEnd = 0;
+  std::size_t failedGatewaysAtEnd = 0;
+
+  // Service-level recovery (fault::RecoveryTracker).
+  std::size_t outageEpisodes = 0;
+  std::size_t unrecoveredOutages = 0;
+  double meanRecoveryLatencyS = 0.0;
+  double pdrDuringOutage = 1.0;
+  std::vector<double> recoveryLatenciesS;
+};
 
 /// Everything a bench or test wants to know after a run.
 struct RunResult {
@@ -57,6 +78,9 @@ struct RunResult {
   std::uint64_t rejectedTesla = 0;
   attacks::AttackerStats attackerStats;
 
+  // Fault injection & recovery (all-zero when the fault plan is empty).
+  FaultSummary faults;
+
   std::uint64_t eventsProcessed = 0;
 
   /// Present when the run had any ScenarioConfig::obs option on: metrics
@@ -91,6 +115,7 @@ class Experiment {
 
  private:
   void beginRound(std::uint32_t round);
+  void applyFaults(std::uint32_t round);
   void scheduleTraffic(std::uint32_t round, sim::Time roundStart);
   RunResult collect(std::uint32_t roundsCompleted);
 
@@ -99,6 +124,13 @@ class Experiment {
   std::unique_ptr<workload::TrafficGenerator> generator_;
   obs::ObserverMux<std::uint32_t> roundObservers_;
   std::shared_ptr<RunObservations> observations_;
+
+  // Fault injection (only allocated when the config's FaultPlan is active).
+  std::unique_ptr<fault::FaultInjector> faultInjector_;
+  std::unique_ptr<fault::RecoveryTracker> recoveryTracker_;
+  std::size_t newFailuresThisRound_ = 0;
+  std::uint64_t faultPrevGenerated_ = 0;
+  std::uint64_t faultPrevDelivered_ = 0;
 };
 
 /// Convenience: build + run in one call (what parallel sweeps execute).

@@ -80,6 +80,8 @@ obs::RoundSample RoundCursor::sample(const Scenario& scenario,
   s.energyMaxJ = energy.maxJ;
   s.energyVarianceD2 = energy.varianceD2;
   s.aliveSensors = network.aliveSensorCount();
+  s.failedSensors = network.failedSensorCount();
+  s.failedGateways = network.failedGatewayCount();
   return s;
 }
 
@@ -184,6 +186,42 @@ void fillRegistry(const Scenario& scenario, const RunResult& result,
 
   registry.counter("wmsn_events_processed_total", proto)
       .add(scenario.simulator.eventsProcessed());
+}
+
+void fillFaultMetrics(const Scenario& scenario, const RunResult& result,
+                      obs::MetricsRegistry& registry) {
+  const obs::Labels proto = {{"protocol", result.protocol}};
+  const FaultSummary& f = result.faults;
+
+  registry.counter("wmsn_fault_sensor_crashes_total", proto)
+      .add(f.sensorCrashes);
+  registry.counter("wmsn_fault_sensor_recoveries_total", proto)
+      .add(f.sensorRecoveries);
+  registry.counter("wmsn_fault_gateway_failures_total", proto)
+      .add(f.gatewayFailures);
+  registry.counter("wmsn_fault_gateway_recoveries_total", proto)
+      .add(f.gatewayRecoveries);
+  registry.counter("wmsn_fault_link_drops_total", proto)
+      .add(f.linkFaultDrops);
+
+  registry.gauge("wmsn_fault_failed_sensors", proto)
+      .set(static_cast<double>(f.failedSensorsAtEnd));
+  registry.gauge("wmsn_fault_failed_gateways", proto)
+      .set(static_cast<double>(f.failedGatewaysAtEnd));
+  registry.gauge("wmsn_fault_pdr_during_outage", proto)
+      .set(f.pdrDuringOutage);
+  registry.gauge("wmsn_fault_unrecovered_outages", proto)
+      .set(static_cast<double>(f.unrecoveredOutages));
+
+  // Recovery latencies bucketed in round units so same-config seeds merge:
+  // the edges derive from the round duration, not the observed values.
+  const double roundS = scenario.config.roundDuration.seconds();
+  auto& latency = registry.histogram(
+      "wmsn_fault_recovery_latency_s",
+      {0.5 * roundS, 1.5 * roundS, 2.5 * roundS, 3.5 * roundS, 5.5 * roundS,
+       8.5 * roundS},
+      proto);
+  for (const double l : f.recoveryLatenciesS) latency.observe(l);
 }
 
 }  // namespace wmsn::core

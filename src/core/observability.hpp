@@ -56,4 +56,11 @@ class RoundCursor {
 void fillRegistry(const Scenario& scenario, const RunResult& result,
                   obs::MetricsRegistry& registry);
 
+/// Adds the `wmsn_fault_*` family (crash/recovery counters, outage gauges,
+/// the recovery-latency histogram) from a run's FaultSummary. Called only
+/// when the scenario's fault plan is active so fault-free metrics exports
+/// stay byte-identical to older builds.
+void fillFaultMetrics(const Scenario& scenario, const RunResult& result,
+                      obs::MetricsRegistry& registry);
+
 }  // namespace wmsn::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "fault/plan.hpp"
+#include "util/random.hpp"
+
+namespace wmsn::fault {
+
+/// One receiver's Gilbert–Elliott channel: a two-state Markov chain stepped
+/// once per frame. Owns its own RNG stream so enabling burst loss never
+/// perturbs the medium's existing delivery draws — runs with the model off
+/// stay byte-identical to runs that never had it.
+class GilbertElliottChain {
+ public:
+  GilbertElliottChain(GilbertElliottParams params, std::uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  /// Advances the chain one frame and returns true when that frame is lost.
+  bool step() {
+    if (bad_) {
+      if (rng_.chance(params_.pBadToGood)) bad_ = false;
+    } else {
+      if (rng_.chance(params_.pGoodToBad)) bad_ = true;
+    }
+    const double loss = bad_ ? params_.lossBad : params_.lossGood;
+    return rng_.chance(loss);
+  }
+
+  bool inBadState() const { return bad_; }
+
+ private:
+  GilbertElliottParams params_;
+  Rng rng_;
+  bool bad_ = false;  ///< chains start in the good state
+};
+
+}  // namespace wmsn::fault

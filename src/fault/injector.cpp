@@ -1,0 +1,85 @@
+#include "fault/injector.hpp"
+
+#include "util/require.hpp"
+
+namespace wmsn::fault {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::size_t sensorCount,
+                             std::size_t gatewayCount, std::uint64_t seed)
+    : plan_(plan),
+      sensorDown_(sensorCount, false),
+      gatewayDown_(gatewayCount, false),
+      rng_(seed) {
+  for (const FaultEvent& e : plan_.events) {
+    const std::size_t limit = e.target == FaultTargetKind::kSensor
+                                  ? sensorCount
+                                  : gatewayCount;
+    WMSN_REQUIRE_MSG(e.ordinal < limit,
+                     "fault event targets " + toString(e.target) + " " +
+                         std::to_string(e.ordinal) + " but only " +
+                         std::to_string(limit) + " exist");
+  }
+}
+
+bool FaultInjector::apply(FaultEvent event, std::vector<FaultEvent>& out) {
+  auto& down = event.target == FaultTargetKind::kSensor ? sensorDown_
+                                                        : gatewayDown_;
+  if (down[event.ordinal] == !event.recover) return false;  // no-op
+  down[event.ordinal] = !event.recover;
+
+  if (event.target == FaultTargetKind::kSensor) {
+    if (event.recover) {
+      --failedSensors_;
+      ++sensorRecoveries_;
+    } else {
+      ++failedSensors_;
+      ++sensorCrashes_;
+    }
+  } else {
+    if (event.recover) {
+      --failedGateways_;
+      ++gatewayRecoveries_;
+    } else {
+      ++failedGateways_;
+      ++gatewayFailures_;
+    }
+  }
+  out.push_back(event);
+  return true;
+}
+
+std::vector<FaultEvent> FaultInjector::actionsAtRound(std::uint32_t round) {
+  std::vector<FaultEvent> out;
+  for (const FaultEvent& e : plan_.events)
+    if (e.round == round) apply(e, out);
+
+  // The random processes hold off until round 1 so every run starts from a
+  // healthy network (round 0 is where the initial announcements flood).
+  // One Bernoulli draw per node per round either way, so the RNG stream
+  // length is a function of the topology alone — replay stays exact.
+  if (round >= 1 && plan_.sensorMtbfRounds > 0) {
+    const double pFail = 1.0 / plan_.sensorMtbfRounds;
+    const double pRecover =
+        plan_.sensorMttrRounds > 0 ? 1.0 / plan_.sensorMttrRounds : 0.0;
+    for (std::size_t s = 0; s < sensorDown_.size(); ++s) {
+      const bool flip = rng_.chance(sensorDown_[s] ? pRecover : pFail);
+      if (!flip) continue;
+      apply(FaultEvent{round, FaultTargetKind::kSensor, s, sensorDown_[s]},
+            out);
+    }
+  }
+  if (round >= 1 && plan_.gatewayMtbfRounds > 0) {
+    const double pFail = 1.0 / plan_.gatewayMtbfRounds;
+    const double pRecover =
+        plan_.gatewayMttrRounds > 0 ? 1.0 / plan_.gatewayMttrRounds : 0.0;
+    for (std::size_t g = 0; g < gatewayDown_.size(); ++g) {
+      const bool flip = rng_.chance(gatewayDown_[g] ? pRecover : pFail);
+      if (!flip) continue;
+      apply(FaultEvent{round, FaultTargetKind::kGateway, g, gatewayDown_[g]},
+            out);
+    }
+  }
+  return out;
+}
+
+}  // namespace wmsn::fault

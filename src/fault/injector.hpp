@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "util/random.hpp"
+
+namespace wmsn::fault {
+
+/// Resolves a FaultPlan into the concrete crash/recover actions for each
+/// round: scheduled events first (in plan order), then the seeded-random
+/// MTBF/MTTR processes in node-ordinal order. Purely deterministic — the
+/// random stream depends only on (seed, round sequence), never on wall
+/// clock or thread interleaving — and it filters no-ops (failing a node
+/// that is already down, recovering one that is up), so downstream
+/// counters reflect real state transitions.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, std::size_t sensorCount,
+                std::size_t gatewayCount, std::uint64_t seed);
+
+  /// The actions to apply entering `round`. Call once per round, in round
+  /// order — the RNG stream and the tracked up/down state advance with each
+  /// call.
+  std::vector<FaultEvent> actionsAtRound(std::uint32_t round);
+
+  /// Currently-failed node counts (scheduled + random, post-filter).
+  std::size_t failedSensors() const { return failedSensors_; }
+  std::size_t failedGateways() const { return failedGateways_; }
+
+  // Lifetime transition counters.
+  std::uint64_t sensorCrashes() const { return sensorCrashes_; }
+  std::uint64_t sensorRecoveries() const { return sensorRecoveries_; }
+  std::uint64_t gatewayFailures() const { return gatewayFailures_; }
+  std::uint64_t gatewayRecoveries() const { return gatewayRecoveries_; }
+
+ private:
+  bool apply(FaultEvent event, std::vector<FaultEvent>& out);
+
+  FaultPlan plan_;
+  std::vector<bool> sensorDown_;
+  std::vector<bool> gatewayDown_;
+  Rng rng_;
+  std::size_t failedSensors_ = 0;
+  std::size_t failedGateways_ = 0;
+  std::uint64_t sensorCrashes_ = 0;
+  std::uint64_t sensorRecoveries_ = 0;
+  std::uint64_t gatewayFailures_ = 0;
+  std::uint64_t gatewayRecoveries_ = 0;
+};
+
+}  // namespace wmsn::fault

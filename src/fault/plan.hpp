@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wmsn::fault {
+
+/// What a fault event targets.
+enum class FaultTargetKind : std::uint8_t {
+  kSensor,   ///< a sensor node, by ordinal into the sensor list
+  kGateway,  ///< a WMG, by ordinal into the gateway list
+};
+
+std::string toString(FaultTargetKind kind);
+
+/// One scheduled fault action, applied at a round boundary. `recover`
+/// distinguishes a crash from the matching repair; a failed node neither
+/// transmits nor receives until it recovers (Node::setFailed), unlike a
+/// battery death, which is permanent.
+struct FaultEvent {
+  std::uint32_t round = 0;
+  FaultTargetKind target = FaultTargetKind::kSensor;
+  std::size_t ordinal = 0;  ///< index into the sensor/gateway list
+  bool recover = false;     ///< false = fail, true = recover
+};
+
+/// Two-state Gilbert–Elliott burst-loss model layered on the medium: the
+/// channel sits in a good or bad state per receiver, flipping with the
+/// given transition probabilities once per frame reception. Steady-state
+/// loss = πB·lossBad + πG·lossGood with πB = pGoodToBad/(pGoodToBad+pBadToGood).
+struct GilbertElliottParams {
+  bool enabled = false;
+  double pGoodToBad = 0.05;  ///< P(good→bad) per frame
+  double pBadToGood = 0.25;  ///< P(bad→good) per frame
+  double lossGood = 0.0;     ///< extra loss probability in the good state
+  double lossBad = 1.0;      ///< loss probability in the bad state
+
+  double steadyStateLoss() const;
+};
+
+/// A deterministic fault schedule: explicit per-round events plus optional
+/// seeded-random crash/recover processes (geometric with the given mean,
+/// i.e. per-round fail probability 1/mtbf and recover probability 1/mttr).
+/// mtbf 0 disables the random process; mttr 0 makes random crashes
+/// permanent. Everything is driven from the run's own seed, so a plan
+/// replays byte-identically for any --threads value.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  std::uint32_t sensorMtbfRounds = 0;   ///< mean rounds between sensor crashes
+  std::uint32_t sensorMttrRounds = 0;   ///< mean rounds to sensor repair
+  std::uint32_t gatewayMtbfRounds = 0;  ///< mean rounds between WMG failures
+  std::uint32_t gatewayMttrRounds = 0;  ///< mean rounds to WMG repair
+
+  GilbertElliottParams linkLoss;
+
+  bool any() const {
+    return !events.empty() || sensorMtbfRounds > 0 || gatewayMtbfRounds > 0 ||
+           linkLoss.enabled;
+  }
+};
+
+/// Parses the wmsn_cli --fault-plan syntax: a comma-separated event list
+/// where each item is `<target><ordinal>[+]@<round>` — `s` targets a sensor,
+/// `gw` a gateway, and a trailing `+` before the `@` marks a recovery.
+/// Examples: "gw0@3" (gateway 0 fails entering round 3),
+/// "gw0+@6" (it recovers entering round 6), "s17@4,s17+@5".
+/// Throws PreconditionError on malformed input.
+std::vector<FaultEvent> parseFaultPlan(const std::string& spec);
+
+}  // namespace wmsn::fault

@@ -1,0 +1,75 @@
+#include "fault/recovery.hpp"
+
+namespace wmsn::fault {
+
+double RecoveryTracker::baseline() const {
+  // Rounds observed before any outage define "healthy"; a run whose very
+  // first round already carries faults falls back to the ideal 1.0.
+  return healthyRounds_ > 0 ? healthyPdrSum_ / healthyRounds_ : 1.0;
+}
+
+void RecoveryTracker::onRoundEnd(std::uint32_t round, std::uint64_t generated,
+                                 std::uint64_t delivered,
+                                 std::size_t newFailures) {
+  const double pdr = generated > 0
+                         ? static_cast<double>(delivered) /
+                               static_cast<double>(generated)
+                         : 1.0;
+
+  if (!open_ && newFailures > 0) {
+    open_ = true;
+    OutageEpisode episode;
+    episode.openRound = round;
+    episodes_.push_back(episode);
+  }
+
+  if (open_) {
+    OutageEpisode& episode = episodes_.back();
+    if (pdr >= recoveryFraction_ * baseline()) {
+      episode.recovered = true;
+      episode.closeRound = round;
+      open_ = false;
+    } else {
+      episode.generatedDuring += generated;
+      episode.deliveredDuring += delivered;
+    }
+    return;
+  }
+
+  healthyPdrSum_ += pdr;
+  ++healthyRounds_;
+}
+
+std::size_t RecoveryTracker::unrecovered() const {
+  std::size_t n = 0;
+  for (const OutageEpisode& e : episodes_)
+    if (!e.recovered) ++n;
+  return n;
+}
+
+std::vector<double> RecoveryTracker::recoveryLatenciesSeconds() const {
+  std::vector<double> out;
+  for (const OutageEpisode& e : episodes_)
+    if (e.recovered) out.push_back(e.latencyRounds() * roundSeconds_);
+  return out;
+}
+
+double RecoveryTracker::meanRecoveryLatencySeconds() const {
+  const auto latencies = recoveryLatenciesSeconds();
+  if (latencies.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double l : latencies) sum += l;
+  return sum / static_cast<double>(latencies.size());
+}
+
+double RecoveryTracker::pdrDuringOutage() const {
+  std::uint64_t generated = 0, delivered = 0;
+  for (const OutageEpisode& e : episodes_) {
+    generated += e.generatedDuring;
+    delivered += e.deliveredDuring;
+  }
+  if (generated == 0) return 1.0;
+  return static_cast<double>(delivered) / static_cast<double>(generated);
+}
+
+}  // namespace wmsn::fault

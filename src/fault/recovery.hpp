@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wmsn::fault {
+
+/// One outage episode: opened when fault injection hits a healthy network,
+/// closed at the first subsequent round whose delivery ratio climbs back to
+/// `recoveryFraction` of the pre-outage baseline. A network that re-homes
+/// traffic fast enough to keep PDR up "recovers" in zero rounds even while
+/// the failed node stays down — recovery is about service, not hardware.
+struct OutageEpisode {
+  std::uint32_t openRound = 0;
+  std::uint32_t closeRound = 0;  ///< meaningful only when recovered
+  bool recovered = false;
+  std::uint64_t generatedDuring = 0;  ///< rounds [open, close), or to end
+  std::uint64_t deliveredDuring = 0;
+
+  std::uint32_t latencyRounds() const { return closeRound - openRound; }
+};
+
+/// Observes the per-round delivery ratio around injected faults and turns
+/// it into recovery latencies and a PDR-during-outage figure. Pure
+/// observation — it never feeds back into the simulation, so attaching it
+/// cannot change a run's results.
+class RecoveryTracker {
+ public:
+  RecoveryTracker(double recoveryFraction, double roundSeconds)
+      : recoveryFraction_(recoveryFraction), roundSeconds_(roundSeconds) {}
+
+  /// Feed each completed round, in order: the round's generated/delivered
+  /// deltas and how many fresh failures were injected at its boundary.
+  void onRoundEnd(std::uint32_t round, std::uint64_t generated,
+                  std::uint64_t delivered, std::size_t newFailures);
+
+  const std::vector<OutageEpisode>& episodes() const { return episodes_; }
+  std::size_t unrecovered() const;
+  /// Recovery latencies of closed episodes, in seconds (latencyRounds ×
+  /// round duration).
+  std::vector<double> recoveryLatenciesSeconds() const;
+  double meanRecoveryLatencySeconds() const;
+  /// Aggregate delivered/generated over all open-outage rounds; 1.0 when no
+  /// outage round elapsed.
+  double pdrDuringOutage() const;
+
+ private:
+  double baseline() const;
+
+  double recoveryFraction_;
+  double roundSeconds_;
+  double healthyPdrSum_ = 0.0;
+  std::uint32_t healthyRounds_ = 0;
+  bool open_ = false;
+  std::vector<OutageEpisode> episodes_;
+};
+
+}  // namespace wmsn::fault

@@ -49,6 +49,19 @@ bool Medium::channelBusy(NodeId at) const {
   return false;
 }
 
+fault::GilbertElliottChain& Medium::chainFor(NodeId rx) {
+  auto it = linkChains_.find(rx);
+  if (it == linkChains_.end()) {
+    // Each receiver gets its own chain with its own RNG stream so the order
+    // in which receivers first hear a frame cannot shift anyone's draws.
+    const std::uint64_t seed =
+        params_.linkLossSeed ^ (static_cast<std::uint64_t>(rx) * 0x9e3779b97f4a7c15ULL);
+    it = linkChains_.emplace(rx, fault::GilbertElliottChain(params_.linkLoss, seed))
+             .first;
+  }
+  return it->second;
+}
+
 void Medium::transmit(NodeId from, Packet packet) {
   const std::uint32_t retries =
       (params_.unicastArq && packet.hopDst != kBroadcastId)
@@ -105,13 +118,20 @@ void Medium::transmitAttempt(NodeId from, Packet packet,
     const double pDeliver =
         radio_.deliveryProbability(srcPos, host_.positionOf(rx));
     const bool channelOk = rng_.chance(pDeliver);
+    // Bursty fault-injection loss rides on top of the distance-based channel
+    // model. The chain draws from its own stream, so when the model is
+    // disabled no draw happens and the run is byte-identical to a build
+    // without it.
+    const bool linkOk =
+        !params_.linkLoss.enabled || !chainFor(rx).step();
     const bool isArqTarget = packet.hopDst == rx;
 
-    simulator_.scheduleAt(end, [this, reception, packet, channelOk,
+    simulator_.scheduleAt(end, [this, reception, packet, channelOk, linkOk,
                                 isArqTarget, retriesLeft, from] {
       const NodeId rxId = reception->receiver;
       const bool rxAlive = host_.listeningOf(rxId);
-      const bool decoded = rxAlive && !reception->corrupted && channelOk;
+      const bool decoded =
+          rxAlive && !reception->corrupted && channelOk && linkOk;
       if (rxAlive) {
         // The radio listened for the whole frame either way.
         host_.chargeRx(rxId, energy_.rxCost(packet.sizeBits()));
@@ -119,6 +139,8 @@ void Medium::transmitAttempt(NodeId from, Packet packet,
           ++framesCorrupted_;
           host_.noteCollision();
         }
+        if (!reception->corrupted && channelOk && !linkOk)
+          ++framesLinkFaultDropped_;
       }
 
       if (isArqTarget && retriesLeft > 0 && !decoded) {

@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "fault/gilbert_elliott.hpp"
 #include "net/energy.hpp"
 #include "net/packet.hpp"
 #include "net/radio.hpp"
@@ -49,6 +51,13 @@ struct MediumParams {
   std::uint32_t maxArqRetries = 3;
   sim::Time arqTurnaround = sim::Time::microseconds(864);  ///< ACK wait
   std::size_t ackFrameBytes = 11;  ///< immediate-ACK frame size
+  /// Bursty link impairment (fault injection): each receiver runs its own
+  /// Gilbert–Elliott chain, stepped once per short-range frame it hears.
+  /// The chains draw from their own RNG streams (derived from
+  /// `linkLossSeed`, not the medium's), so disabling the model reproduces
+  /// the unimpaired run byte-for-byte.
+  fault::GilbertElliottParams linkLoss;
+  std::uint64_t linkLossSeed = 0;
 };
 
 /// Shared broadcast radio channel. Every frame physically reaches all alive
@@ -86,6 +95,10 @@ class Medium {
   std::uint64_t framesTransmitted() const { return framesTransmitted_; }
   std::uint64_t framesCorrupted() const { return framesCorrupted_; }
   std::uint64_t arqRetransmissions() const { return arqRetransmissions_; }
+  /// Frames a receiver would have decoded but for Gilbert–Elliott loss.
+  std::uint64_t framesLinkFaultDropped() const {
+    return framesLinkFaultDropped_;
+  }
 
  private:
   struct ActiveTx {
@@ -104,6 +117,7 @@ class Medium {
 
   void pruneExpired();
   void transmitAttempt(NodeId from, Packet packet, std::uint32_t retriesLeft);
+  fault::GilbertElliottChain& chainFor(NodeId rx);
 
   sim::Simulator& simulator_;
   const RadioModel& radio_;
@@ -118,6 +132,8 @@ class Medium {
   std::uint64_t framesTransmitted_ = 0;
   std::uint64_t framesCorrupted_ = 0;
   std::uint64_t arqRetransmissions_ = 0;
+  std::unordered_map<NodeId, fault::GilbertElliottChain> linkChains_;
+  std::uint64_t framesLinkFaultDropped_ = 0;
 };
 
 }  // namespace wmsn::net

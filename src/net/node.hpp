@@ -35,9 +35,16 @@ class Node {
   Battery& battery() { return battery_; }
   const Battery& battery() const { return battery_; }
 
-  bool alive() const { return alive_; }
+  bool alive() const { return alive_ && !failed_; }
   void kill(sim::Time when);
   std::optional<sim::Time> deathTime() const { return deathTime_; }
+
+  /// Fault injection: a failed node behaves exactly like a dead one (radio
+  /// off, no processing) but keeps its battery, and — unlike kill() — the
+  /// condition is reversible and does not count toward lifetime metrics
+  /// (deathTime stays unset unless the battery actually empties).
+  bool failed() const { return failed_; }
+  void setFailed(bool failed) { failed_ = failed; }
 
   /// Sleep scheduling (§4.4): a sleeping node's radio is off — it neither
   /// receives nor pays RX energy, but it may still wake briefly to transmit
@@ -45,7 +52,7 @@ class Node {
   bool sleeping() const { return sleeping_; }
   void setSleeping(bool sleeping) { sleeping_ = sleeping; }
   /// Awake and alive — what the medium checks before delivering a frame.
-  bool listening() const { return alive_ && !sleeping_; }
+  bool listening() const { return alive() && !sleeping_; }
 
   void setMac(std::unique_ptr<Mac> mac) { mac_ = std::move(mac); }
   Mac& mac() { return *mac_; }
@@ -55,7 +62,7 @@ class Node {
     receiveHandler_ = std::move(handler);
   }
   void receive(const Packet& packet, NodeId from) {
-    if (alive_ && receiveHandler_) receiveHandler_(packet, from);
+    if (alive() && receiveHandler_) receiveHandler_(packet, from);
   }
 
   Rng& rng() { return rng_; }
@@ -66,6 +73,7 @@ class Node {
   Point position_;
   Battery battery_;
   bool alive_ = true;
+  bool failed_ = false;
   bool sleeping_ = false;
   std::optional<sim::Time> deathTime_;
   std::unique_ptr<Mac> mac_;

@@ -60,6 +60,21 @@ class SensorNetwork final : public MediumHost {
   /// lifetime definition (§5.3).
   std::optional<sim::Time> firstSensorDeathTime() const;
 
+  /// Nodes currently crashed by fault injection (Node::failed()); disjoint
+  /// from battery deaths, which are permanent.
+  std::size_t failedSensorCount() const {
+    std::size_t count = 0;
+    for (const NodeId s : sensorIds_)
+      if (nodes_[s]->failed()) ++count;
+    return count;
+  }
+  std::size_t failedGatewayCount() const {
+    std::size_t count = 0;
+    for (const NodeId g : gatewayIds_)
+      if (nodes_[g]->failed()) ++count;
+    return count;
+  }
+
   // --- protocol-facing services ------------------------------------------
   sim::Simulator& simulator() { return simulator_; }
   Medium& medium() { return *medium_; }

@@ -20,6 +20,10 @@ class ObserverMux {
  public:
   using Handler = std::function<void(Args...)>;
 
+  /// Attach contract: `name` must be unique among currently-attached
+  /// observers and `handler` non-empty — attaching an already-attached
+  /// name is a hard error (WMSN_REQUIRE failure), not a replacement.
+  /// Consumers that legitimately re-attach must detach() first.
   void attach(const std::string& name, Handler handler) {
     WMSN_REQUIRE_MSG(handler != nullptr, "observer '" + name + "' is empty");
     WMSN_REQUIRE_MSG(!attached(name),

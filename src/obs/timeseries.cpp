@@ -29,8 +29,11 @@ std::vector<double> TimeSeriesRecorder::defaultDepthEdges() {
 }
 
 TimeSeriesRecorder::TimeSeriesRecorder(std::size_t gatewayCount,
-                                       std::vector<double> queueDepthEdges)
-    : gatewayCount_(gatewayCount), depthEdges_(std::move(queueDepthEdges)) {}
+                                       std::vector<double> queueDepthEdges,
+                                       bool faultColumns)
+    : gatewayCount_(gatewayCount),
+      depthEdges_(std::move(queueDepthEdges)),
+      faultColumns_(faultColumns) {}
 
 void TimeSeriesRecorder::add(RoundSample sample) {
   WMSN_REQUIRE_MSG(sample.perGatewayDeliveries.size() == gatewayCount_,
@@ -49,6 +52,10 @@ std::vector<std::string> TimeSeriesRecorder::csvHeader() const {
       "queue_peak",   "queue_mean",     "energy_min_j",
       "energy_mean_j","energy_max_j",   "energy_d2",
       "alive_sensors"};
+  if (faultColumns_) {
+    header.push_back("failed_sensors");
+    header.push_back("failed_gateways");
+  }
   for (std::size_t g = 0; g < gatewayCount_; ++g)
     header.push_back("gw" + std::to_string(g) + "_deliveries");
   for (std::size_t i = 0; i <= depthEdges_.size(); ++i)
@@ -79,6 +86,10 @@ void TimeSeriesRecorder::appendCsv(CsvWriter& csv,
         formatDouble(s.energyMaxJ),
         formatDouble(s.energyVarianceD2),
         TextTable::num(s.aliveSensors)};
+    if (faultColumns_) {
+      row.push_back(TextTable::num(s.failedSensors));
+      row.push_back(TextTable::num(s.failedGateways));
+    }
     for (const std::uint64_t d : s.perGatewayDeliveries)
       row.push_back(TextTable::num(d));
     for (const std::uint64_t c : s.queueDepthHist)
@@ -121,8 +132,11 @@ std::string TimeSeriesRecorder::json() const {
        << ",\"energy_mean_j\":" << formatDouble(s.energyMeanJ)
        << ",\"energy_max_j\":" << formatDouble(s.energyMaxJ)
        << ",\"energy_d2\":" << formatDouble(s.energyVarianceD2)
-       << ",\"alive_sensors\":" << s.aliveSensors
-       << ",\"gateway_deliveries\":[";
+       << ",\"alive_sensors\":" << s.aliveSensors;
+    if (faultColumns_)
+      os << ",\"failed_sensors\":" << s.failedSensors
+         << ",\"failed_gateways\":" << s.failedGateways;
+    os << ",\"gateway_deliveries\":[";
     for (std::size_t g = 0; g < s.perGatewayDeliveries.size(); ++g)
       os << (g ? "," : "") << s.perGatewayDeliveries[g];
     os << "],\"queue_depth_hist\":[";

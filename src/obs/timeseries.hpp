@@ -41,6 +41,11 @@ struct RoundSample {
   double energyVarianceD2 = 0.0;  ///< the paper's D² (eq. 1)
   std::uint64_t aliveSensors = 0;
 
+  // Fault injection: nodes crashed (reversibly) at the boundary. Recorded
+  // in CSV/JSON only when the recorder enables its fault columns.
+  std::uint64_t failedSensors = 0;
+  std::uint64_t failedGateways = 0;
+
   /// Nodes bucketed by their peak queue depth this round; one count per
   /// recorder bucket (last = overflow).
   std::vector<std::uint64_t> queueDepthHist;
@@ -52,13 +57,17 @@ struct RoundSample {
 class TimeSeriesRecorder {
  public:
   TimeSeriesRecorder(std::size_t gatewayCount,
-                     std::vector<double> queueDepthEdges = defaultDepthEdges());
+                     std::vector<double> queueDepthEdges = defaultDepthEdges(),
+                     bool faultColumns = false);
 
   /// Depth buckets used when none are supplied: ≤1, ≤2, ≤4, ≤8, ≤16, ≤32.
   static std::vector<double> defaultDepthEdges();
 
   std::size_t gatewayCount() const { return gatewayCount_; }
   const std::vector<double>& queueDepthEdges() const { return depthEdges_; }
+  /// When on, CSV/JSON carry failed_sensors/failed_gateways columns; off by
+  /// default so fault-free runs serialise byte-identically to older builds.
+  bool faultColumns() const { return faultColumns_; }
 
   /// Requires sample.perGatewayDeliveries.size() == gatewayCount() and
   /// sample.queueDepthHist.size() == queueDepthEdges().size() + 1.
@@ -82,6 +91,7 @@ class TimeSeriesRecorder {
  private:
   std::size_t gatewayCount_;
   std::vector<double> depthEdges_;
+  bool faultColumns_ = false;
   std::vector<RoundSample> samples_;
 };
 

@@ -33,7 +33,33 @@ void MlrRouting::onRoundStart(std::uint32_t round) {
     occupiedBy_.clear();
     placeOfGw_.clear();
   }
+  if (params_.failover && !isGateway() && round > 0)
+    evictStaleGateways(round);
 }
+
+void MlrRouting::evictStaleGateways(std::uint32_t round) {
+  // With failover on, every live gateway announces every round, so a
+  // gateway last heard before round - staleAfterRounds has fallen silent:
+  // stop routing to it. Its table entry (hop field toward the place) stays —
+  // a recovered or replacement gateway re-validates it by re-occupying.
+  for (auto it = placeOfGw_.begin(); it != placeOfGw_.end();) {
+    const std::uint16_t gw = it->first;
+    const auto heard = lastHeardRound_.find(gw);
+    const std::uint32_t last =
+        heard == lastHeardRound_.end() ? 0 : heard->second;
+    if (gw != self() && last + params_.staleAfterRounds < round) {
+      auto occ = occupiedBy_.find(it->second);
+      if (occ != occupiedBy_.end() && occ->second == gw)
+        occupiedBy_.erase(occ);
+      it = placeOfGw_.erase(it);
+      onGatewayPresumedDown(gw);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MlrRouting::onGatewayPresumedDown(std::uint16_t /*gateway*/) {}
 
 void MlrRouting::onTopologyChanged() {
   // The awake relay set changed (§4.4 sleep epoch): hop counts and next
@@ -148,6 +174,11 @@ void MlrRouting::applyMove(const GatewayMoveMsg& msg, net::NodeId from,
   if (msg.newPlace >= table_.size()) return;  // malformed
   if (msg.gateway == self()) return;
 
+  // Freshness for the failover staleness check (monotone: late-arriving
+  // re-floods of an old announcement must not rejuvenate a dead gateway).
+  auto& heard = lastHeardRound_[msg.gateway];
+  heard = std::max(heard, msg.round);
+
   // Occupancy bookkeeping: where each gateway now is.
   if (msg.prevPlace != kNoPlace) {
     auto it = occupiedBy_.find(msg.prevPlace);
@@ -168,6 +199,10 @@ void MlrRouting::applyMove(const GatewayMoveMsg& msg, net::NodeId from,
     entry.hops = cand;
     entry.nextHop = from;
   }
+
+  // A gateway just became routable — release any readings parked while the
+  // network had none.
+  if (params_.failover && !isGateway() && !deferred_.empty()) flushDeferred();
 
   // Gateways learn occupancy but never join the BFS tree: they are sinks,
   // not relays, and they move — a table entry pointing through a gateway
@@ -213,7 +248,14 @@ void MlrRouting::originate(Bytes appPayload) {
   }
 
   const auto place = selectedPlace();
-  if (!place) return;  // no reachable gateway known — counted as undelivered
+  if (!place) {
+    // Failover: park the reading (bounded) and flush it when some gateway
+    // becomes routable again. It keeps its uid, so a late delivery still
+    // counts in PDR; overflow and never-flushed readings stay undelivered.
+    if (params_.failover && deferred_.size() < params_.deferredCapacity)
+      deferred_.push_back(Deferred{uid, ++seq_, std::move(appPayload)});
+    return;  // no reachable gateway known — counted as undelivered
+  }
 
   DataMsg msg;
   msg.source = static_cast<std::uint16_t>(self());
@@ -281,7 +323,33 @@ void MlrRouting::forwardData(net::Packet packet, const DataMsg& msg) {
   }
   if (msg.place >= table_.size()) return;
   const PlaceEntry& entry = table_[msg.place];
-  if (!entry.known) return;  // stale route upstream — drop
+  // Failover additionally demands the target place still be occupied — a
+  // packet addressed to an evicted gateway is re-homed below rather than
+  // walking a route to nobody.
+  const bool routable =
+      entry.known && (!params_.failover || occupiedBy_.contains(msg.place));
+  if (!routable) {
+    // Stale route upstream. Legacy behaviour drops; failover re-homes the
+    // packet to the best place this node knows (hop cap bounds loops).
+    if (!params_.failover || packet.hops >= 32) return;
+    const auto place = selectedPlace();
+    if (!place || *place == msg.place) return;
+    DataMsg rehomed = msg;
+    rehomed.gateway = occupiedBy_.at(*place);
+    rehomed.place = *place;
+    net::Packet fwd = makePacket(net::PacketKind::kData,
+                                 table_[*place].nextHop, rehomed.encode());
+    fwd.uid = packet.uid;
+    fwd.origin = packet.origin;
+    fwd.seq = packet.seq;
+    fwd.finalDst = rehomed.gateway;
+    fwd.hops = static_cast<std::uint8_t>(packet.hops + 1);
+    if (params_.reliableForwarding)
+      sendWithAck(std::move(fwd), table_[*place].nextHop, *place);
+    else
+      sendUnicast(table_[*place].nextHop, std::move(fwd));
+    return;
+  }
 
   packet.hops = static_cast<std::uint8_t>(packet.hops + 1);
   packet.hopSrc = self();
@@ -306,9 +374,17 @@ void MlrRouting::transmitPending(std::uint64_t uid) {
   auto it = pendingAcks_.find(uid);
   if (it == pendingAcks_.end()) return;  // acknowledged meanwhile
   net::Packet copy = it->second.packet;
+  // Failover doubles the ACK wait per retry (bounded): during an outage
+  // every retransmission fails, and fixed-interval retries would keep the
+  // channel saturated exactly when the network is trying to reconverge.
+  const sim::Time timeout =
+      params_.failover
+          ? sim::Time{params_.ackTimeout.us
+                      << std::min(it->second.retries, 5u)}
+          : params_.ackTimeout;
   sendUnicast(it->second.nextHop, std::move(copy));
 
-  scheduleAfter(params_.ackTimeout, [this, uid] {
+  scheduleAfter(timeout, [this, uid] {
     auto entry = pendingAcks_.find(uid);
     if (entry == pendingAcks_.end()) return;  // acknowledged
     if (entry->second.retries < params_.maxRetransmits) {
@@ -316,9 +392,65 @@ void MlrRouting::transmitPending(std::uint64_t uid) {
       transmitPending(uid);
     } else {
       invalidateVia(entry->second.nextHop);
+      PendingAck lost = std::move(entry->second);
       pendingAcks_.erase(entry);
+      if (params_.failover) rerouteAfterAckLoss(std::move(lost));
     }
   });
+}
+
+void MlrRouting::rerouteAfterAckLoss(PendingAck pending) {
+  if (pending.reroutes >= params_.maxReroutes) return;
+  if (pending.packet.kind != net::PacketKind::kData) return;
+  const auto place = selectedPlace();
+  if (!place) return;
+  // Retarget at the current best place (invalidateVia just dropped every
+  // entry through the dead link, so this picks a genuinely different path).
+  DataMsg msg = DataMsg::decode(pending.packet.payload);
+  msg.gateway = occupiedBy_.at(*place);
+  msg.place = *place;
+  const net::NodeId nextHop = table_[*place].nextHop;
+  net::Packet pkt =
+      makePacket(net::PacketKind::kData, nextHop, msg.encode());
+  pkt.uid = pending.packet.uid;
+  pkt.origin = pending.packet.origin;
+  pkt.seq = pending.packet.seq;
+  pkt.finalDst = msg.gateway;
+  pkt.hops = pending.packet.hops;
+
+  PendingAck next;
+  next.packet = std::move(pkt);
+  next.nextHop = nextHop;
+  next.place = *place;
+  next.reroutes = pending.reroutes + 1;
+  const std::uint64_t uid = next.packet.uid;
+  pendingAcks_[uid] = std::move(next);
+  transmitPending(uid);
+}
+
+void MlrRouting::flushDeferred() {
+  const auto place = selectedPlace();
+  if (!place) return;
+  std::vector<Deferred> queue = std::move(deferred_);
+  deferred_.clear();
+  for (Deferred& d : queue) {
+    DataMsg msg;
+    msg.source = static_cast<std::uint16_t>(self());
+    msg.gateway = occupiedBy_.at(*place);
+    msg.place = *place;
+    msg.dataSeq = d.seq;
+    msg.reading = std::move(d.reading);
+    const net::NodeId nextHop = table_[*place].nextHop;
+    net::Packet pkt =
+        makePacket(net::PacketKind::kData, nextHop, msg.encode());
+    pkt.uid = d.uid;
+    pkt.seq = d.seq;
+    pkt.finalDst = msg.gateway;
+    if (params_.reliableForwarding)
+      sendWithAck(std::move(pkt), nextHop, *place);
+    else
+      sendUnicast(nextHop, std::move(pkt));
+  }
 }
 
 void MlrRouting::invalidateVia(net::NodeId nextHop) {

@@ -36,6 +36,22 @@ struct MlrParams {
   std::uint32_t loadAdvisoryThreshold = 0;
   /// Hop-equivalent penalty applied to a fully-overloaded (1000‰) gateway.
   double loadPenaltyHops = 3.0;
+
+  /// Fault-resilience hardening (off by default — every knob below only
+  /// takes effect when this is on, so legacy runs stay byte-identical).
+  /// Turns the per-round announcement into a heartbeat (the experiment
+  /// makes every gateway announce each round), ages silent gateways out of
+  /// the tables, reroutes ACK-exhausted packets to the next-best gateway,
+  /// backs ACK timeouts off exponentially, and parks unroutable readings in
+  /// a bounded buffer until a gateway reappears.
+  bool failover = false;
+  /// Rounds of announcement silence before a gateway is presumed down.
+  std::uint32_t staleAfterRounds = 1;
+  /// Times one data packet may be rerouted to another gateway after ACK
+  /// exhaustion before it is finally dropped.
+  std::uint32_t maxReroutes = 2;
+  /// Capacity of the park-until-routable origination buffer.
+  std::size_t deferredCapacity = 32;
 };
 
 /// MLR — Maximal network Lifetime Routing (§5.3). Gateways move among |P|
@@ -103,6 +119,7 @@ class MlrRouting : public RoutingProtocol {
     net::NodeId nextHop = net::kNoNode;
     std::uint16_t place = 0;
     std::uint32_t retries = 0;
+    std::uint32_t reroutes = 0;  ///< failover: gateway switches so far
   };
 
   virtual void handleMove(const net::Packet& packet, net::NodeId from);
@@ -129,6 +146,20 @@ class MlrRouting : public RoutingProtocol {
   void transmitPending(std::uint64_t uid);
   void invalidateVia(net::NodeId nextHop);
 
+  // --- failover hardening (params_.failover) ------------------------------
+  /// Ages out gateways whose announcements fell silent; called from
+  /// onRoundStart on sensors.
+  void evictStaleGateways(std::uint32_t round);
+  /// Hook fired once per evicted gateway — SecMLR tears down its sessions
+  /// and 4-tuple forwarding entries here. Base implementation is a no-op
+  /// (the table/occupancy cleanup already happened).
+  virtual void onGatewayPresumedDown(std::uint16_t gateway);
+  /// ACK exhaustion: retarget the packet at the current best place instead
+  /// of dropping it (bounded by maxReroutes).
+  void rerouteAfterAckLoss(PendingAck pending);
+  /// Sends parked readings once a place becomes routable again.
+  void flushDeferred();
+
   MlrParams params_;
   std::uint32_t round_ = 0;
   std::vector<PlaceEntry> table_;
@@ -152,6 +183,17 @@ class MlrRouting : public RoutingProtocol {
 
   // §4.4 delegation.
   std::optional<net::NodeId> delegate_;
+
+  // Failover: last round each gateway was heard announcing, and readings
+  // parked while no gateway is routable (kept with their uid so delayed
+  // delivery still counts in PDR).
+  std::map<std::uint16_t, std::uint32_t> lastHeardRound_;
+  struct Deferred {
+    std::uint64_t uid = 0;
+    std::uint32_t seq = 0;
+    Bytes reading;
+  };
+  std::vector<Deferred> deferred_;
 
   // Downstream commands.
   CommandHandler commandHandler_;

@@ -304,6 +304,15 @@ void SecMlrRouting::invalidateSessionsTo(std::uint16_t gateway) {
   if (it != sessions_.end()) it->second.valid = false;
 }
 
+void SecMlrRouting::onGatewayPresumedDown(std::uint16_t gateway) {
+  invalidateSessionsTo(gateway);
+  // Forwarding state toward a dead gateway only misroutes packets into the
+  // void; clearing it makes the next query rebuild through live paths.
+  std::erase_if(forward_, [gateway](const auto& kv) {
+    return static_cast<std::uint16_t>(kv.first & 0xffff) == gateway;
+  });
+}
+
 void SecMlrRouting::startQuery() {
   queryInFlight_ = true;
   ++queriesStarted_;
@@ -355,7 +364,22 @@ void SecMlrRouting::finishQuery() {
   if (!gw) {
     if (queryRetries_ < config_.maxQueryRetries && !occupiedBy_.empty()) {
       ++queryRetries_;
-      startQuery();
+      if (params_.failover) {
+        // Bounded exponential backoff before re-flooding: the last flood
+        // just died in the same outage an immediate retry would re-enter.
+        // queryInFlight_ stays up so new readings queue instead of racing a
+        // second discovery.
+        queryInFlight_ = true;
+        const std::uint32_t shift = std::min(queryRetries_ - 1, 5u);
+        const std::uint32_t expectReq = reqId_;
+        scheduleAfter(sim::Time{config_.collectWindow.us << shift},
+                      [this, expectReq] {
+                        if (reqId_ != expectReq) return;
+                        startQuery();
+                      });
+      } else {
+        startQuery();
+      }
     } else {
       ++queriesFailed_;
       dataQueue_.clear();  // undeliverable this round — shows in PDR

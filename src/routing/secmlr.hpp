@@ -72,6 +72,11 @@ class SecMlrRouting : public MlrRouting {
   std::uint64_t queriesFailed() const { return queriesFailed_; }
   bool hasSessionTo(net::NodeId gateway) const;
 
+ protected:
+  /// Failover eviction: a silent gateway loses not just its place entry but
+  /// the secure session and every 4-tuple forwarding entry toward it.
+  void onGatewayPresumedDown(std::uint16_t gateway) override;
+
  private:
   // --- key / counter plumbing ---------------------------------------------
   crypto::Key pairKey(std::uint16_t sensor, std::uint16_t gateway) const;

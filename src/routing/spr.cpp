@@ -87,7 +87,21 @@ void SprRouting::finishQuery() {
   if (responses_.empty()) {
     if (queryRetries_ < params_.maxQueryRetries) {
       ++queryRetries_;
-      startQuery();
+      if (params_.retryBackoff.us > 0) {
+        // Exponential backoff between re-discoveries: an immediate re-flood
+        // mostly re-enters the congestion or outage that ate the first one.
+        // queryInFlight_ stays up so fresh readings queue behind the retry.
+        queryInFlight_ = true;
+        const std::uint32_t shift = std::min(queryRetries_ - 1, 5u);
+        const std::uint32_t expectRound = round_;
+        scheduleAfter(sim::Time{params_.retryBackoff.us << shift},
+                      [this, expectRound] {
+                        if (round_ != expectRound) return;
+                        startQuery();
+                      });
+      } else {
+        startQuery();
+      }
     } else {
       dataQueue_.clear();  // unreachable this round; drops show up in PDR
     }
