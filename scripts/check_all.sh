@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# check_all.sh — the one-stop correctness gate. Runs, in order:
+#
+#   werror       full tree with -Werror (WMSN_WERROR=ON)
+#   asan-ubsan   full ctest under AddressSanitizer + UBSanitizer
+#   tsan         full ctest under ThreadSanitizer (the threaded repeat-mode
+#                determinism tests included)
+#   invariants   full ctest with WMSN_INVARIANTS=ON (runtime protocol checks
+#                live; the deliberate-violation tests fire)
+#   clang-tidy   scripts/check_tidy.sh over the committed .clang-tidy
+#                (SKIPs when clang-tidy is not installed)
+#   wmsn-lint    scripts/wmsn_lint.py project-specific invariant checks
+#   docs         scripts/check_docs.sh CLI-flag/documentation drift
+#
+# and prints a per-gate summary table. Exit 0 iff no gate FAILed (SKIPs are
+# not failures: a gate whose tool is absent from the image is gated, not
+# ignored — see each script's header).
+#
+# usage: check_all.sh [--quick] [--jobs N]
+#   --quick   reuse existing build trees without reconfiguring
+#   --jobs N  parallel build/test jobs (default: nproc)
+set -uo pipefail
+
+scriptdir="$(cd "$(dirname "$0")" && pwd)"
+repo="$(dirname "$scriptdir")"
+jobs="$(nproc 2>/dev/null || echo 2)"
+quick=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) quick=1 ;;
+    --jobs) shift; jobs="${1:?--jobs needs a value}" ;;
+    *) echo "usage: check_all.sh [--quick] [--jobs N]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+declare -a gate_names=() gate_results=() gate_notes=()
+overall=0
+
+note_gate() {  # name result note
+  gate_names+=("$1")
+  gate_results+=("$2")
+  gate_notes+=("$3")
+  [ "$2" = "FAIL" ] && overall=1
+  echo "=== $1: $2 ${3:+($3)}"
+}
+
+configure() {  # dir flags...
+  local dir="$1"; shift
+  if [ "$quick" -eq 1 ] && [ -f "$repo/$dir/CMakeCache.txt" ]; then
+    return 0
+  fi
+  cmake -B "$repo/$dir" -S "$repo" "$@" >/dev/null
+}
+
+build_and_test() {  # gate-name dir run-ctest flags...
+  local name="$1" dir="$2" run_ctest="$3"; shift 3
+  echo "=== $name: configuring + building $dir"
+  if ! configure "$dir" "$@"; then
+    note_gate "$name" FAIL "cmake configure failed"
+    return
+  fi
+  if ! cmake --build "$repo/$dir" -j "$jobs" >"$repo/$dir/build.log" 2>&1; then
+    tail -n 40 "$repo/$dir/build.log"
+    note_gate "$name" FAIL "build failed (full log: $dir/build.log)"
+    return
+  fi
+  if [ "$run_ctest" = "no-ctest" ]; then
+    note_gate "$name" PASS "build clean"
+    return
+  fi
+  if (cd "$repo/$dir" && ctest --output-on-failure -j "$jobs" \
+        >"$repo/$dir/ctest.log" 2>&1); then
+    local count
+    count="$(grep -oE '[0-9]+ tests? passed' "$repo/$dir/ctest.log" | head -1)"
+    note_gate "$name" PASS "${count:-ctest green}"
+  else
+    tail -n 60 "$repo/$dir/ctest.log"
+    note_gate "$name" FAIL "ctest failed (full log: $dir/ctest.log)"
+  fi
+}
+
+# 1. -Werror across src/ tests/ bench/ examples/.
+build_and_test werror build-werror no-ctest -DWMSN_WERROR=ON
+
+# 2. ASan + UBSan, full suite.
+build_and_test asan-ubsan build-asan ctest -DWMSN_ASAN_UBSAN=ON
+
+# 3. TSan, full suite — the threaded repeat-mode determinism tests are the
+#    point: repeat-mode workers must stay race-free.
+build_and_test tsan build-tsan ctest -DWMSN_TSAN=ON
+
+# 4. Runtime invariants live, full suite (violation tests fire here).
+build_and_test invariants build-invariants ctest -DWMSN_INVARIANTS=ON
+
+# 5. clang-tidy gate (SKIPs if the binary is absent).
+tidy_out="$("$scriptdir/check_tidy.sh" 2>&1)"; tidy_status=$?
+echo "$tidy_out"
+if [ "$tidy_status" -ne 0 ]; then
+  note_gate clang-tidy FAIL "see findings above"
+elif echo "$tidy_out" | grep -q "SKIP"; then
+  note_gate clang-tidy SKIP "clang-tidy not installed"
+else
+  note_gate clang-tidy PASS "zero findings"
+fi
+
+# 6. Project-specific lint.
+if lint_out="$(python3 "$scriptdir/wmsn_lint.py" --root "$repo" 2>&1)"; then
+  note_gate wmsn-lint PASS "$(echo "$lint_out" | tail -1)"
+else
+  echo "$lint_out"
+  note_gate wmsn-lint FAIL "findings above"
+fi
+
+# 7. Documentation drift (needs a built wmsn_cli; the werror tree has one).
+cli="$repo/build-werror/examples/wmsn_cli"
+if [ -x "$cli" ]; then
+  if docs_out="$(bash "$scriptdir/check_docs.sh" "$cli" "$repo" 2>&1)"; then
+    note_gate docs PASS "$(echo "$docs_out" | tail -1)"
+  else
+    echo "$docs_out"
+    note_gate docs FAIL "drift above"
+  fi
+else
+  note_gate docs SKIP "no wmsn_cli binary (werror build failed?)"
+fi
+
+echo
+echo "┌──────────────┬────────┬──────────────────────────────────────────────┐"
+printf "│ %-12s │ %-6s │ %-44s │\n" "gate" "result" "detail"
+echo "├──────────────┼────────┼──────────────────────────────────────────────┤"
+for i in "${!gate_names[@]}"; do
+  printf "│ %-12s │ %-6s │ %-44.44s │\n" \
+         "${gate_names[$i]}" "${gate_results[$i]}" "${gate_notes[$i]}"
+done
+echo "└──────────────┴────────┴──────────────────────────────────────────────┘"
+
+if [ "$overall" -eq 0 ]; then
+  echo "check_all: all gates green"
+else
+  echo "check_all: FAILURES above" >&2
+fi
+exit "$overall"

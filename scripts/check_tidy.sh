@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# clang-tidy gate: run the committed .clang-tidy over every translation unit
+# in src/ tests/ bench/ examples/ and fail on any finding.
+#
+# The container image does not always ship clang-tidy (only the gcc
+# toolchain is baked in), so the gate degrades gracefully: with no
+# clang-tidy on PATH it reports SKIP and exits 0, unless --require is
+# passed (CI images that do ship it should pass --require so the gate can
+# never silently rot). Override the binary with $CLANG_TIDY.
+#
+# usage: check_tidy.sh [--require] [build-dir]
+#   build-dir: an existing CMake build tree with compile_commands.json
+#              (default: <repo>/build-tidy, configured on demand)
+set -uo pipefail
+
+require=0
+if [ "${1:-}" = "--require" ]; then
+  require=1
+  shift
+fi
+
+scriptdir="$(cd "$(dirname "$0")" && pwd)"
+repo="$(dirname "$scriptdir")"
+builddir="${1:-$repo/build-tidy}"
+
+tidy="${CLANG_TIDY:-}"
+if [ -z "$tidy" ]; then
+  for candidate in clang-tidy clang-tidy-{21,20,19,18,17,16,15,14}; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      tidy="$candidate"
+      break
+    fi
+  done
+fi
+
+if [ -z "$tidy" ]; then
+  if [ "$require" -eq 1 ]; then
+    echo "check_tidy: clang-tidy not found and --require given" >&2
+    exit 1
+  fi
+  echo "check_tidy: SKIP (clang-tidy not installed; set \$CLANG_TIDY or" \
+       "install it to enable the gate)"
+  exit 0
+fi
+
+# The gate needs a compilation database; configure a dedicated tree once.
+if [ ! -f "$builddir/compile_commands.json" ]; then
+  echo "check_tidy: configuring $builddir for compile_commands.json"
+  cmake -B "$builddir" -S "$repo" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        >/dev/null || exit 1
+fi
+
+mapfile -t sources < <(find "$repo/src" "$repo/tests" "$repo/bench" \
+                            "$repo/examples" -name '*.cpp' | sort)
+echo "check_tidy: $tidy over ${#sources[@]} translation units"
+
+status=0
+logfile="$(mktemp)"
+trap 'rm -f "$logfile"' EXIT
+for src in "${sources[@]}"; do
+  if ! "$tidy" -p "$builddir" --quiet "$src" >>"$logfile" 2>/dev/null; then
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  grep -E "(warning|error):" "$logfile" | sort -u
+  echo "check_tidy: FAIL — findings above" >&2
+else
+  echo "check_tidy: clean"
+fi
+exit "$status"

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""wmsn-lint — project-specific static checker for the wmsn tree.
+
+Enforces the repo-wide invariants that generic tooling cannot know about:
+
+  rng-discipline    All simulation randomness flows through wmsn::Rng
+                    (src/util/random.*). std::rand, srand, random_device,
+                    mt19937, time(nullptr)/time(NULL) and wall-clock
+                    system_clock anywhere else silently break the
+                    bit-for-bit replay guarantee that the repeat-mode and
+                    fault-seed determinism tests rely on.
+                    (steady_clock is fine: it only feeds profiling.)
+
+  float-equality    Raw == / != against floating-point literals compares
+                    metrics for exact equality; use a tolerance or an
+                    ordered comparison. GTest EXPECT_*/ASSERT_* lines are
+                    exempt — determinism tests intentionally compare exact
+                    replayed values.
+
+  observer-contract Observer fan-out goes through obs::ObserverMux
+                    (src/obs/mux.hpp): consumers attach under a unique
+                    string-literal name. Single-slot std::function observer
+                    members and mux attaches whose name is not a literal
+                    defeat the double-attach check the contract documents.
+
+  include-guard     Every header starts with #pragma once.
+
+  banned-header     <random> and <ctime> are banned outside
+                    src/util/random.* — their only legitimate use is inside
+                    the deterministic RNG façade.
+
+Suppress a finding with an inline comment on the offending line (or the
+line directly above):   // wmsn-lint: allow(<rule-id>)
+
+usage: wmsn_lint.py [--root DIR] [--list-rules]
+exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+EXTENSIONS = (".cpp", ".hpp", ".h")
+
+# Files exempt from the RNG / banned-header discipline: the deterministic
+# RNG façade itself.
+RNG_EXEMPT = re.compile(r"src[/\\]util[/\\]random\.(cpp|hpp)$")
+
+ALLOW = re.compile(r"wmsn-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+RULES = {
+    "rng-discipline": "non-deterministic randomness/clock outside src/util/random.*",
+    "float-equality": "raw ==/!= on floating-point values",
+    "observer-contract": "observer wiring outside the ObserverMux contract",
+    "include-guard": "header missing #pragma once",
+    "banned-header": "<random>/<ctime> outside src/util/random.*",
+}
+
+RNG_TOKENS = [
+    (re.compile(r"\bstd::rand\b|\brand\s*\(\s*\)"), "std::rand"),
+    (re.compile(r"\bsrand\s*\("), "srand"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bmt19937(_64)?\b"), "std::mt19937"),
+    (re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)"), "time(nullptr)"),
+    (re.compile(r"\bsystem_clock\b"), "wall-clock system_clock"),
+    (re.compile(r"\bhigh_resolution_clock\b"), "high_resolution_clock"),
+]
+
+FLOAT_EQ = re.compile(
+    r"(?<![=!<>+\-*/&|^])(==|!=)\s*[+-]?\d+\.\d*(?![\w.])"
+    r"|[+-]?\d+\.\d*\s*(==|!=)(?![=])"
+)
+
+GTEST_LINE = re.compile(r"\b(EXPECT|ASSERT)_[A-Z_]+\s*\(")
+
+# A mux attach: <something>bservers_.attach( or the documented wrapper
+# entry points. The first argument must be a string literal so name
+# uniqueness stays auditable at the call site.
+MUX_ATTACH = re.compile(
+    r"\b\w*[oO]bservers?_\.attach\s*\(\s*(?P<arg>[^),]*)"
+)
+STRING_LITERAL = re.compile(r'^\s*"')
+
+# The pre-mux single-slot pattern: a std::function member whose name ends
+# in Observer_/observer_. The mux replaced these; re-introducing one brings
+# back silent observer eviction.
+SINGLE_SLOT = re.compile(r"std::function\s*<[^;]*>\s*\w*[oO]bserver_\s*[;{=]")
+
+BANNED_INCLUDE = re.compile(r'#\s*include\s*<(random|ctime)>')
+
+PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
+
+
+def allowed(rule, line, prev_line):
+    for text in (line, prev_line):
+        m = ALLOW.search(text or "")
+        if m and rule in [r.strip() for r in m.group(1).split(",")]:
+            return True
+    return False
+
+
+def strip_comment(line):
+    """Drop // comments and the contents of string literals (crude but
+    sufficient: the tree bans multi-line relevant constructs)."""
+    out = []
+    i, n = 0, len(line)
+    in_str = in_chr = False
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == '"':
+                in_str = False
+                out.append('"')
+            i += 1
+            continue
+        if in_chr:
+            if c == "\\":
+                i += 2
+                continue
+            if c == "'":
+                in_chr = False
+                out.append("'")
+            i += 1
+            continue
+        if c == '"':
+            in_str = True
+            out.append('"')
+            i += 1
+            continue
+        if c == "'":
+            in_chr = True
+            out.append("'")
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def lint_file(path, rel, findings):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        findings.append((rel, 0, "io", str(e)))
+        return
+
+    rng_exempt = bool(RNG_EXEMPT.search(rel))
+    is_header = rel.endswith((".hpp", ".h"))
+
+    if is_header:
+        head = [l for l in lines[:10] if l.strip()]
+        if not any(PRAGMA_ONCE.match(l) for l in head):
+            findings.append((rel, 1, "include-guard",
+                             "header must start with #pragma once"))
+
+    prev = ""
+    for i, raw in enumerate(lines, start=1):
+        code = strip_comment(raw)
+
+        if not rng_exempt:
+            for pattern, label in RNG_TOKENS:
+                if pattern.search(code) and not allowed("rng-discipline", raw, prev):
+                    findings.append(
+                        (rel, i, "rng-discipline",
+                         f"{label} breaks deterministic replay; use wmsn::Rng "
+                         "(src/util/random.hpp)"))
+            if BANNED_INCLUDE.search(code) and not allowed("banned-header", raw, prev):
+                findings.append(
+                    (rel, i, "banned-header",
+                     "<random>/<ctime> only inside src/util/random.*"))
+
+        if (FLOAT_EQ.search(code) and not GTEST_LINE.search(code)
+                and not allowed("float-equality", raw, prev)):
+            findings.append(
+                (rel, i, "float-equality",
+                 "exact ==/!= on a floating-point literal; compare with a "
+                 "tolerance or an ordered test"))
+
+        m = MUX_ATTACH.search(code)
+        if m and not allowed("observer-contract", raw, prev):
+            arg = m.group("arg").strip()
+            if not arg and i < len(lines):
+                # Call spans lines; the name is the first token of the next.
+                arg = strip_comment(lines[i]).strip()
+            if not STRING_LITERAL.match(arg):
+                findings.append(
+                    (rel, i, "observer-contract",
+                     "ObserverMux::attach needs a string-literal name at the "
+                     "call site (see src/obs/mux.hpp)"))
+
+        if (SINGLE_SLOT.search(code) and "mux.hpp" not in rel
+                and not allowed("observer-contract", raw, prev)):
+            findings.append(
+                (rel, i, "observer-contract",
+                 "single-slot std::function observer member; fan out through "
+                 "obs::ObserverMux instead (see src/obs/mux.hpp)"))
+
+        prev = raw
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: the linter's grandparent dir)")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule:18} {desc}")
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(root):
+        print(f"wmsn-lint: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    scanned = 0
+    for sub in SCAN_DIRS:
+        base = os.path.join(root, sub)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if not d.startswith("build")]
+            for name in sorted(filenames):
+                if name.endswith(EXTENSIONS):
+                    scanned += 1
+                    path = os.path.join(dirpath, name)
+                    lint_file(path, os.path.relpath(path, root), findings)
+
+    for rel, line, rule, msg in findings:
+        print(f"{rel}:{line}: [{rule}] {msg}")
+    if findings:
+        print(f"wmsn-lint: {len(findings)} finding(s) in {scanned} files",
+              file=sys.stderr)
+        return 1
+    print(f"wmsn-lint: clean ({scanned} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

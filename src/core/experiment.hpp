@@ -102,6 +102,8 @@ class Experiment {
   /// the observer mux; attaching the same name twice REQUIRE-fails.
   using RoundObserver = std::function<void(std::uint32_t round)>;
   void addRoundObserver(const std::string& name, RoundObserver observer) {
+    // The documented wrapper entry point: it forwards the consumer's own
+    // literal name. wmsn-lint: allow(observer-contract)
     roundObservers_.attach(name, std::move(observer));
   }
   /// Legacy single-observer convenience; equivalent to attaching under a

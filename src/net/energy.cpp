@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/invariants.hpp"
 #include "util/require.hpp"
 
 namespace wmsn::net {
@@ -36,8 +37,11 @@ bool Battery::draw(double joules, double* bucket) {
     return true;
   }
   if (remaining_ <= 0.0) return true;  // already dead; nothing changes
+  const double before = remaining_;
   *bucket += joules;
   remaining_ -= joules;
+  WMSN_INVARIANT_MSG(inv::energyMonotone(before, remaining_),
+                     "battery charge is monotone non-increasing per node");
   if (remaining_ <= 0.0) {
     remaining_ = 0.0;
     return false;  // this charge killed the node

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "obs/profiler.hpp"
+#include "util/invariants.hpp"
+#include "util/require.hpp"
 
 namespace wmsn::net {
 
@@ -45,11 +47,18 @@ void CsmaMac::send(Packet packet) {
     // (sensing data ages fast; fresh readings matter more).
     waiting_.pop_front();
     waiting_.push_back(std::move(packet));
+    WMSN_INVARIANT_MSG(
+        inv::queueWithinCapacity(waiting_.size(), queue_.capacity),
+        "finite MAC transmit queue depth never exceeds its capacity");
     return;  // depth unchanged — no integral update needed
   }
   noteDepthChange();
   waiting_.push_back(std::move(packet));
   peakDepth_ = std::max(peakDepth_, waiting_.size());
+  WMSN_INVARIANT_MSG(
+      inv::queueWithinCapacity(waiting_.size(), queue_.capacity) &&
+          inv::queueWithinCapacity(peakDepth_, queue_.capacity),
+      "finite MAC transmit queue depth never exceeds its capacity");
   if (stats_) stats_->onQueueDepth(self_, waiting_.size());
 }
 

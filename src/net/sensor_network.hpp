@@ -97,6 +97,8 @@ class SensorNetwork final : public MediumHost {
       std::function<void(const Packet&, NodeId node, bool transmit)>;
   using FrameObserverMux = obs::ObserverMux<const Packet&, NodeId, bool>;
   void attachFrameObserver(const std::string& name, FrameObserver observer) {
+    // The documented wrapper entry point: it forwards the consumer's own
+    // literal name. wmsn-lint: allow(observer-contract)
     frameObservers_.attach(name, std::move(observer));
   }
   bool detachFrameObserver(const std::string& name) {

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/profiler.hpp"
+#include "util/invariants.hpp"
 #include "util/require.hpp"
 
 namespace wmsn::routing {
@@ -21,6 +22,9 @@ MlrRouting::MlrRouting(net::SensorNetwork& network, net::NodeId self,
 }
 
 void MlrRouting::onRoundStart(std::uint32_t round) {
+  WMSN_INVARIANT_MSG(
+      table_.size() == knowledge().feasiblePlaces.size(),
+      "MLR §5.3: the routing table has exactly one slot per feasible place");
   round_ = round;
   pendingAcks_.clear();
   if (isGateway()) {
@@ -193,12 +197,23 @@ void MlrRouting::applyMove(const GatewayMoveMsg& msg, net::NodeId from,
   // one-hop neighbours must repoint from the departed gateway to the new
   // occupant.
   PlaceEntry& entry = table_[msg.newPlace];
+  const bool wasKnown = entry.known;
+  const std::uint16_t prevHops = entry.hops;
   const std::uint16_t cand = static_cast<std::uint16_t>(msg.hopCount + 1);
   if (!entry.known || cand <= entry.hops) {
     entry.known = true;
     entry.hops = cand;
     entry.nextHop = from;
   }
+  WMSN_INVARIANT_MSG(
+      inv::entryMonotone(wasKnown, prevHops, entry.hops),
+      "MLR §5.3: an accumulated entry is never rebuilt — updates may only "
+      "keep or improve its hop count");
+  WMSN_INVARIANT_MSG(
+      inv::tableWithinPlaces(knownEntryCount(),
+                             knowledge().feasiblePlaces.size()) &&
+          occupiedBy_.size() <= knowledge().feasiblePlaces.size(),
+      "MLR §5.3: table and occupancy never exceed |P| entries");
 
   // A gateway just became routable — release any readings parked while the
   // network had none.

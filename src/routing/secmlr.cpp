@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/invariants.hpp"
 #include "util/require.hpp"
 
 namespace wmsn::routing {
@@ -296,6 +297,15 @@ std::optional<std::uint16_t> SecMlrRouting::pickSessionGateway() {
       best = gw;
     }
   }
+  WMSN_INVARIANT_MSG(
+      !best || inv::sessionConsistent(
+                   sessions_.at(*best).valid,
+                   sessions_.at(*best).nextHop != net::kNoNode,
+                   sessions_.at(*best).place != kNoPlace,
+                   sessions_.at(*best).pathHops,
+                   placeOfGw_.at(*best) == sessions_.at(*best).place),
+      "SecMLR §6.2.4: the selected session must point at its gateway's "
+      "current place");
   return best;
 }
 
@@ -311,6 +321,15 @@ void SecMlrRouting::onGatewayPresumedDown(std::uint16_t gateway) {
   std::erase_if(forward_, [gateway](const auto& kv) {
     return static_cast<std::uint16_t>(kv.first & 0xffff) == gateway;
   });
+  WMSN_INVARIANT_MSG(
+      !hasSessionTo(gateway) &&
+          std::none_of(forward_.begin(), forward_.end(),
+                       [gateway](const auto& kv) {
+                         return static_cast<std::uint16_t>(kv.first & 0xffff) ==
+                                gateway;
+                       }),
+      "SecMLR: a presumed-down gateway keeps no usable session and no "
+      "forwarding entries");
 }
 
 void SecMlrRouting::startQuery() {
@@ -501,6 +520,12 @@ void SecMlrRouting::handleSecRres(const net::Packet& packet,
     session.nextHop = msg.path[1];
     session.place = msg.place;
     session.pathHops = static_cast<std::uint16_t>(msg.path.size() - 1);
+    WMSN_INVARIANT_MSG(
+        inv::sessionConsistent(session.valid, session.nextHop != net::kNoNode,
+                               session.place != kNoPlace, session.pathHops,
+                               /*placeMatchesGateway=*/true),
+        "SecMLR §6.2.4: an installed session carries a real next hop, a real "
+        "place, and at least one hop");
     sessions_[msg.gateway] = session;
     return;
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/invariants.hpp"
 #include "util/require.hpp"
 
 namespace wmsn::routing {
@@ -116,6 +117,11 @@ void SprRouting::finishQuery() {
         (r.path.size() == best->path.size() && r.gateway < best->gateway))
       best = &r;
   }
+  WMSN_INVARIANT_MSG(
+      inv::sprSubPath(best->path, static_cast<std::uint16_t>(self()),
+                      best->gateway),
+      "SPR Property 1 (§5.2): the chosen route must be a simple path "
+      "self → gateway");
   route_ = StoredRoute{best->path, round_};
   routeGateway_ = best->gateway;
   routeAnnounced_ = false;
@@ -284,6 +290,11 @@ void SprRouting::installFromPath(const Path& path, std::size_t selfIndex,
   stored.path.assign(path.begin() + static_cast<std::ptrdiff_t>(selfIndex),
                      path.end());
   stored.round = round_;
+  WMSN_INVARIANT_MSG(
+      inv::sprSubPath(stored.path, static_cast<std::uint16_t>(self()),
+                      gateway),
+      "SPR Property 1 (§5.2): an installed sub-path of a shortest path must "
+      "itself be a simple path self → gateway");
   knownPaths_[gateway] = std::move(stored);
   if (!isGateway() && !routeFresh()) {
     // Passing traffic taught us a route — adopt it ("sensor nodes that

@@ -1,0 +1,52 @@
+#include "util/invariants.hpp"
+
+#include <algorithm>
+
+namespace wmsn::inv {
+
+bool enabledInBuild() {
+#ifdef WMSN_INVARIANTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool simplePath(const std::vector<std::uint16_t>& path) {
+  std::vector<std::uint16_t> sorted = path;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+bool sprSubPath(const std::vector<std::uint16_t>& path, std::uint16_t self,
+                std::uint16_t gateway) {
+  if (path.empty()) return false;
+  if (path.front() != self) return false;
+  if (path.back() != gateway) return false;
+  return simplePath(path);
+}
+
+bool tableWithinPlaces(std::size_t knownEntries, std::size_t places) {
+  return knownEntries <= places;
+}
+
+bool entryMonotone(bool wasKnown, std::uint16_t previousHops,
+                   std::uint16_t updatedHops) {
+  return !wasKnown || updatedHops <= previousHops;
+}
+
+bool energyMonotone(double beforeJ, double afterJ) {
+  return afterJ <= beforeJ;
+}
+
+bool queueWithinCapacity(std::size_t depth, std::size_t capacity) {
+  return capacity == 0 || depth <= capacity;
+}
+
+bool sessionConsistent(bool valid, bool nextHopSet, bool placeSet,
+                       std::uint16_t pathHops, bool placeMatchesGateway) {
+  if (!valid) return true;  // invalidated sessions carry no guarantees
+  return nextHopSet && placeSet && pathHops >= 1 && placeMatchesGateway;
+}
+
+}  // namespace wmsn::inv

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wmsn::inv {
+
+/// Whether the wmsn libraries were compiled with -DWMSN_INVARIANTS=ON, i.e.
+/// whether WMSN_INVARIANT(...) checks inside library code are live. Tests use
+/// this to decide between asserting that a violation throws (invariants
+/// build) and asserting that the same violation is silently compiled out
+/// (default build).
+bool enabledInBuild();
+
+/// True when no node id appears twice — the well-formedness half of SPR
+/// Property 1 (§5.2): any sub-path of a shortest path is itself a shortest
+/// path, and shortest paths in a unit-cost graph are always simple.
+bool simplePath(const std::vector<std::uint16_t>& path);
+
+/// SPR Property-1 shape check for a stored route or spliced sub-path:
+/// simple, at least one node, starting at `self` and terminating at
+/// `gateway`. Every entry SPR installs into its routing state must satisfy
+/// this — a cycle or a wrong endpoint means the splice rule was misapplied.
+bool sprSubPath(const std::vector<std::uint16_t>& path, std::uint16_t self,
+                std::uint16_t gateway);
+
+/// MLR §5.3: the routing table accumulates at most one entry per feasible
+/// place, so the number of known entries can never exceed |P|.
+bool tableWithinPlaces(std::size_t knownEntries, std::size_t places);
+
+/// MLR §5.3 "round by round" accumulation: an already-known entry is never
+/// rebuilt from scratch — an update may only keep or improve its hop count.
+bool entryMonotone(bool wasKnown, std::uint16_t previousHops,
+                   std::uint16_t updatedHops);
+
+/// Battery charge is monotone non-increasing: no draw may leave a node with
+/// more energy than it had before.
+bool energyMonotone(double beforeJ, double afterJ);
+
+/// A finite MAC transmit queue (capacity > 0) never holds more waiting
+/// frames than its capacity; capacity == 0 is the legacy unbounded
+/// discipline and exempt.
+bool queueWithinCapacity(std::size_t depth, std::size_t capacity);
+
+/// SecMLR session-state consistency (§6.2.4): a valid session must carry a
+/// real next hop, a real place, and a path of at least one hop — and the
+/// place must be the one its gateway currently occupies.
+bool sessionConsistent(bool valid, bool nextHopSet, bool placeSet,
+                       std::uint16_t pathHops, bool placeMatchesGateway);
+
+}  // namespace wmsn::inv

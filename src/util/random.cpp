@@ -72,7 +72,7 @@ double Rng::normal(double mean, double stddev) {
     u = uniform(-1.0, 1.0);
     v = uniform(-1.0, 1.0);
     s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
+  } while (s >= 1.0 || s <= 0.0);  // reject the unit-circle rim and origin
   const double factor = std::sqrt(-2.0 * std::log(s) / s);
   spareNormal_ = v * factor;
   hasSpareNormal_ = true;

@@ -13,12 +13,28 @@ class PreconditionError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// Thrown when a WMSN_INVARIANT(...) protocol invariant fails in a build
+/// configured with -DWMSN_INVARIANTS=ON. Distinct from PreconditionError:
+/// a precondition blames the caller, an invariant blames the protocol
+/// implementation itself.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
 namespace detail {
 [[noreturn]] inline void requireFailed(const char* expr, const char* file,
                                        int line, const std::string& msg) {
   throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
                           ": requirement failed: " + expr +
                           (msg.empty() ? "" : " — " + msg));
+}
+
+[[noreturn]] inline void invariantFailed(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  throw InvariantError(std::string(file) + ":" + std::to_string(line) +
+                       ": invariant violated: " + expr +
+                       (msg.empty() ? "" : " — " + msg));
 }
 }  // namespace detail
 
@@ -35,3 +51,26 @@ namespace detail {
     if (!(expr))                                                        \
       ::wmsn::detail::requireFailed(#expr, __FILE__, __LINE__, (msg));  \
   } while (false)
+
+/// Protocol-invariant check at a hot point (SPR Property 1, MLR table bounds,
+/// energy monotonicity, MAC queue bounds, SecMLR session consistency, …).
+/// Active only when the tree is configured with -DWMSN_INVARIANTS=ON; the
+/// default build compiles the check out entirely — the expression is parsed
+/// in an unevaluated context (so it stays well-formed and its operands count
+/// as used) but generates no code, keeping release output byte-identical.
+#ifdef WMSN_INVARIANTS
+#define WMSN_INVARIANT(expr)                                            \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::wmsn::detail::invariantFailed(#expr, __FILE__, __LINE__, "");   \
+  } while (false)
+#define WMSN_INVARIANT_MSG(expr, msg)                                   \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::wmsn::detail::invariantFailed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+#else
+#define WMSN_INVARIANT(expr) static_cast<void>(sizeof((expr) ? 1 : 0))
+#define WMSN_INVARIANT_MSG(expr, msg) \
+  static_cast<void>(sizeof((expr) ? 1 : 0) + sizeof(msg))
+#endif

@@ -99,7 +99,7 @@ double jainFairness(const std::vector<double>& xs) {
     sum += x;
     sumSq += x * x;
   }
-  if (sumSq == 0.0) return 1.0;
+  if (sumSq <= 0.0) return 1.0;  // all-zero loads are perfectly fair
   return sum * sum / (static_cast<double>(xs.size()) * sumSq);
 }
 

@@ -1,0 +1,231 @@
+// Tests for the runtime invariants layer (WMSN_INVARIANT, src/util/
+// invariants.hpp). Every invariant class the library checks at its protocol
+// hot points — SPR Property 1, MLR table bounds/monotone accumulation,
+// energy monotonicity, MAC queue bounds, SecMLR session consistency — has a
+// deliberate violation here that asserts the check fires. Firing requires a
+// tree configured with -DWMSN_INVARIANTS=ON (scripts/check_all.sh builds
+// one); in the default build those tests skip and the compiled-out tests
+// run instead.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "net/energy.hpp"
+#include "net/radio.hpp"
+#include "net/sensor_network.hpp"
+#include "routing/messages.hpp"
+#include "routing/mlr.hpp"
+#include "routing/spr.hpp"
+#include "sim/simulator.hpp"
+#include "util/invariants.hpp"
+#include "util/require.hpp"
+
+namespace wmsn::routing {
+namespace {
+
+// --- predicate layer (always active, any build) ------------------------------
+
+TEST(InvariantPredicates, SimplePath) {
+  EXPECT_TRUE(inv::simplePath({}));
+  EXPECT_TRUE(inv::simplePath({1, 2, 3}));
+  EXPECT_FALSE(inv::simplePath({1, 2, 1}));
+  EXPECT_FALSE(inv::simplePath({7, 7}));
+}
+
+TEST(InvariantPredicates, SprSubPathShape) {
+  // Property 1 (§5.2): a stored sub-path runs self → gateway and is simple.
+  EXPECT_TRUE(inv::sprSubPath({4, 5, 9}, 4, 9));
+  EXPECT_TRUE(inv::sprSubPath({9}, 9, 9));          // the gateway's own entry
+  EXPECT_FALSE(inv::sprSubPath({}, 4, 9));           // empty
+  EXPECT_FALSE(inv::sprSubPath({5, 9}, 4, 9));       // wrong start
+  EXPECT_FALSE(inv::sprSubPath({4, 5}, 4, 9));       // wrong terminus
+  EXPECT_FALSE(inv::sprSubPath({4, 5, 5, 9}, 4, 9)); // cycle
+}
+
+TEST(InvariantPredicates, MlrTableBounds) {
+  EXPECT_TRUE(inv::tableWithinPlaces(0, 6));
+  EXPECT_TRUE(inv::tableWithinPlaces(6, 6));
+  EXPECT_FALSE(inv::tableWithinPlaces(7, 6));  // more entries than |P|
+}
+
+TEST(InvariantPredicates, MlrEntryMonotone) {
+  EXPECT_TRUE(inv::entryMonotone(false, 0, 12));  // first sighting: anything
+  EXPECT_TRUE(inv::entryMonotone(true, 5, 5));    // refresh at equal cost
+  EXPECT_TRUE(inv::entryMonotone(true, 5, 3));    // improvement
+  EXPECT_FALSE(inv::entryMonotone(true, 5, 6));   // a rebuild worsened it
+}
+
+TEST(InvariantPredicates, EnergyMonotone) {
+  EXPECT_TRUE(inv::energyMonotone(2.0, 2.0));
+  EXPECT_TRUE(inv::energyMonotone(2.0, 1.5));
+  EXPECT_FALSE(inv::energyMonotone(1.5, 2.0));  // charge grew back
+}
+
+TEST(InvariantPredicates, QueueWithinCapacity) {
+  EXPECT_TRUE(inv::queueWithinCapacity(123, 0));  // legacy unbounded mode
+  EXPECT_TRUE(inv::queueWithinCapacity(4, 4));
+  EXPECT_FALSE(inv::queueWithinCapacity(5, 4));
+}
+
+TEST(InvariantPredicates, SecMlrSessionConsistency) {
+  EXPECT_TRUE(inv::sessionConsistent(false, false, false, 0, false));
+  EXPECT_TRUE(inv::sessionConsistent(true, true, true, 3, true));
+  EXPECT_FALSE(inv::sessionConsistent(true, false, true, 3, true));
+  EXPECT_FALSE(inv::sessionConsistent(true, true, false, 3, true));
+  EXPECT_FALSE(inv::sessionConsistent(true, true, true, 0, true));
+  EXPECT_FALSE(inv::sessionConsistent(true, true, true, 3, false));
+}
+
+// --- macro machinery ---------------------------------------------------------
+
+TEST(InvariantMacro, BuildFlagMatchesLibrary) {
+  // The test TU and the wmsn libraries are compiled with the same global
+  // -DWMSN_INVARIANTS flag; if these ever disagree the build is miswired.
+#ifdef WMSN_INVARIANTS
+  EXPECT_TRUE(inv::enabledInBuild());
+#else
+  EXPECT_FALSE(inv::enabledInBuild());
+#endif
+}
+
+TEST(InvariantMacro, FiresOnViolationWhenEnabled) {
+  if (!inv::enabledInBuild())
+    GTEST_SKIP() << "invariants compiled out; configure -DWMSN_INVARIANTS=ON";
+  EXPECT_NO_THROW(WMSN_INVARIANT(2 + 2 == 4));
+  EXPECT_THROW(WMSN_INVARIANT(2 + 2 == 5), InvariantError);
+  try {
+    WMSN_INVARIANT_MSG(false, "the context message");
+    FAIL() << "violated invariant did not throw";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the context message"), std::string::npos) << what;
+    EXPECT_NE(what.find("invariants_test"), std::string::npos) << what;
+  }
+}
+
+TEST(InvariantMacro, CompiledOutCostsNothingByDefault) {
+  if (inv::enabledInBuild())
+    GTEST_SKIP() << "this probes the default (compiled-out) configuration";
+  int evaluations = 0;
+  auto probe = [&evaluations]() {
+    ++evaluations;
+    return false;
+  };
+  // Compiled out, the expression sits in an unevaluated context: the probe
+  // must never run and the violated condition must never throw.
+  EXPECT_NO_THROW(WMSN_INVARIANT(probe()));
+  EXPECT_NO_THROW(WMSN_INVARIANT_MSG(probe(), "unused"));
+  EXPECT_EQ(evaluations, 0);
+}
+
+// --- per-class violation firing ---------------------------------------------
+
+/// Skips unless the tree was built with -DWMSN_INVARIANTS=ON.
+class InvariantFiring : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!inv::enabledInBuild())
+      GTEST_SKIP() << "requires a -DWMSN_INVARIANTS=ON build "
+                      "(scripts/check_all.sh runs one)";
+  }
+};
+
+TEST_F(InvariantFiring, SprPropertyOneViolation) {
+  EXPECT_THROW(WMSN_INVARIANT(inv::sprSubPath({4, 5, 5, 9}, 4, 9)),
+               InvariantError);
+}
+
+TEST_F(InvariantFiring, MlrTableBoundViolation) {
+  EXPECT_THROW(WMSN_INVARIANT(inv::tableWithinPlaces(7, 6)), InvariantError);
+}
+
+TEST_F(InvariantFiring, MlrEntryRebuildViolation) {
+  EXPECT_THROW(WMSN_INVARIANT(inv::entryMonotone(true, 5, 6)), InvariantError);
+}
+
+TEST_F(InvariantFiring, EnergyMonotoneViolation) {
+  EXPECT_THROW(WMSN_INVARIANT(inv::energyMonotone(1.5, 2.0)), InvariantError);
+}
+
+TEST_F(InvariantFiring, MacQueueBoundViolation) {
+  EXPECT_THROW(WMSN_INVARIANT(inv::queueWithinCapacity(5, 4)), InvariantError);
+}
+
+TEST_F(InvariantFiring, SecMlrSessionViolation) {
+  EXPECT_THROW(
+      WMSN_INVARIANT(inv::sessionConsistent(true, false, false, 0, false)),
+      InvariantError);
+}
+
+// --- library-level firing through real protocol state ------------------------
+
+net::SensorNetworkParams idealParams() {
+  net::SensorNetworkParams p;
+  p.mac = net::MacKind::kIdeal;
+  p.medium.collisions = false;
+  return p;
+}
+
+/// MlrRouting exposes its table to subclasses; corrupting it and entering a
+/// round boundary must trip the one-slot-per-place invariant inside
+/// onRoundStart (not merely a checker function called with fake values).
+struct TableCorruptingMlr final : MlrRouting {
+  using MlrRouting::MlrRouting;
+  void growTableBeyondPlaces() { table_.push_back(PlaceEntry{}); }
+};
+
+TEST_F(InvariantFiring, MlrOnRoundStartCatchesCorruptTable) {
+  sim::Simulator simulator;
+  net::SensorNetwork network(simulator,
+                             std::make_unique<net::UnitDiskRadio>(25.0),
+                             idealParams());
+  network.addSensor({0.0, 0.0});
+  NetworkKnowledge knowledge;
+  knowledge.feasiblePlaces = {{40.0, 0.0}, {80.0, 0.0}};
+  knowledge.gatewayIds.push_back(network.addGateway({40.0, 0.0}));
+
+  TableCorruptingMlr mlr(network, 0, knowledge, MlrParams{});
+  EXPECT_NO_THROW(mlr.onRoundStart(1));
+  mlr.growTableBeyondPlaces();
+  EXPECT_THROW(mlr.onRoundStart(2), InvariantError);
+}
+
+TEST_F(InvariantFiring, SprInstallRejectsNonSimplePath) {
+  // A crafted RRES carrying a cyclic path reaches installFromPath, whose
+  // Property-1 invariant must reject the state before it is stored.
+  sim::Simulator simulator;
+  net::SensorNetwork network(simulator,
+                             std::make_unique<net::UnitDiskRadio>(25.0),
+                             idealParams());
+  for (int i = 0; i < 3; ++i)
+    network.addSensor({20.0 * static_cast<double>(i), 0.0});
+  NetworkKnowledge knowledge;
+  knowledge.feasiblePlaces = {{60.0, 0.0}};
+  const net::NodeId gw = network.addGateway({60.0, 0.0});
+  knowledge.gatewayIds.push_back(gw);
+
+  SprRouting spr(network, 1, knowledge, SprParams{});
+
+  RresMsg res;
+  res.reqId = 1;
+  res.gateway = static_cast<std::uint16_t>(gw);
+  res.path = {1, 2, 2, static_cast<std::uint16_t>(gw)};  // revisits node 2
+  res.cursor = 0;  // addressed to node 1, the path head
+
+  net::Packet pkt;
+  pkt.kind = net::PacketKind::kRres;
+  pkt.hopDst = 1;
+  pkt.payload = res.encode();
+  EXPECT_THROW(spr.onReceive(pkt, 2), InvariantError);
+}
+
+TEST(InvariantLayer, BatteryPreconditionStillActiveEverywhere) {
+  // The invariant layer supplements — never replaces — the always-on
+  // precondition checks: a negative draw is a caller bug in every build.
+  net::Battery battery(2.0);
+  EXPECT_THROW(battery.drawTx(-1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace wmsn::routing
