@@ -319,13 +319,10 @@ int main(int argc, char** argv) {
     if (repeat > 1) {
       // Multi-seed capacity sweep: k independent runs fan out over the
       // thread pool; the table reports each seed plus the mean.
-      std::vector<core::ScenarioConfig> configs;
+      const auto configs = core::expandSeeds(cfg, repeat);
       std::vector<std::string> labels;
-      for (unsigned k = 0; k < repeat; ++k) {
-        configs.push_back(cfg);
-        configs.back().seed = cfg.seed + k;
-        labels.push_back("seed " + std::to_string(cfg.seed + k));
-      }
+      for (const auto& c : configs)
+        labels.push_back("seed " + std::to_string(c.seed));
       const auto results = core::runScenariosParallel(configs, threads);
       for (const auto& r : results) std::cout << core::summaryLine(r) << "\n";
       std::cout << "\n";

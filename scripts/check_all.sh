@@ -112,17 +112,34 @@ else
   note_gate wmsn-lint FAIL "findings above"
 fi
 
-# 7. Documentation drift (needs a built wmsn_cli; the werror tree has one).
+# 7. Documentation drift (needs built CLIs; the werror tree has them).
 cli="$repo/build-werror/examples/wmsn_cli"
-if [ -x "$cli" ]; then
-  if docs_out="$(bash "$scriptdir/check_docs.sh" "$cli" "$repo" 2>&1)"; then
+campaign_cli="$repo/build-werror/examples/wmsn_campaign"
+if [ -x "$cli" ] && [ -x "$campaign_cli" ]; then
+  if docs_out="$(bash "$scriptdir/check_docs.sh" "$cli" "$repo" \
+                 "$campaign_cli" 2>&1)"; then
     note_gate docs PASS "$(echo "$docs_out" | tail -1)"
   else
     echo "$docs_out"
     note_gate docs FAIL "drift above"
   fi
 else
-  note_gate docs SKIP "no wmsn_cli binary (werror build failed?)"
+  note_gate docs SKIP "no CLI binaries (werror build failed?)"
+fi
+
+# 8. Campaign orchestration smoke gate: run → kill → --resume must land on
+#    the same bytes as uninterrupted, across worker counts, and an injected
+#    worker crash must be contained to one failed run.
+if [ -x "$campaign_cli" ]; then
+  if camp_out="$(bash "$scriptdir/check_campaign.sh" "$campaign_cli" \
+                 "$repo" 2>&1)"; then
+    note_gate campaign PASS "$(echo "$camp_out" | tail -1)"
+  else
+    echo "$camp_out"
+    note_gate campaign FAIL "see above"
+  fi
+else
+  note_gate campaign SKIP "no wmsn_campaign binary (werror build failed?)"
 fi
 
 echo

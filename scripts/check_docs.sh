@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Documentation drift check, run from ctest (-L docs): every flag wmsn_cli
-# advertises in --help must be documented in README.md, EXPERIMENTS.md or
-# docs/METRICS.md. Adding a flag without documenting it fails the suite.
+# Documentation drift check, run from ctest (-L docs): every flag each
+# listed binary advertises in --help must be documented in README.md,
+# EXPERIMENTS.md or docs/METRICS.md. Adding a flag without documenting it
+# fails the suite.
 #
-# usage: check_docs.sh <path-to-wmsn_cli> <repo-source-dir>
+# usage: check_docs.sh <path-to-binary> <repo-source-dir> [more-binaries...]
 set -euo pipefail
 
-cli="${1:?usage: check_docs.sh <wmsn_cli> <source-dir>}"
-srcdir="${2:?usage: check_docs.sh <wmsn_cli> <source-dir>}"
+cli="${1:?usage: check_docs.sh <binary> <source-dir> [more-binaries...]}"
+srcdir="${2:?usage: check_docs.sh <binary> <source-dir> [more-binaries...]}"
+shift 2
+binaries=("$cli" "$@")
 docs=("$srcdir/README.md" "$srcdir/EXPERIMENTS.md" "$srcdir/docs/METRICS.md")
 
 for doc in "${docs[@]}"; do
@@ -17,24 +20,27 @@ for doc in "${docs[@]}"; do
   fi
 done
 
-# Flags are the "  --name" column of the usage text.
-flags=$("$cli" --help | sed -n 's/^ *\(--[a-z][a-z-]*\).*/\1/p' | sort -u)
-if [ -z "$flags" ]; then
-  echo "check_docs: extracted no flags from '$cli --help'" >&2
-  exit 1
-fi
-
 status=0
-for flag in $flags; do
-  if ! grep -q -- "$flag" "${docs[@]}"; then
-    echo "check_docs: flag '$flag' is advertised by --help but documented" \
-         "in none of: ${docs[*]}" >&2
-    status=1
+total=0
+for bin in "${binaries[@]}"; do
+  name="$(basename "$bin")"
+  # Flags are the "  --name" column of the usage text.
+  flags=$("$bin" --help | sed -n 's/^ *\(--[a-z][a-z-]*\).*/\1/p' | sort -u)
+  if [ -z "$flags" ]; then
+    echo "check_docs: extracted no flags from '$bin --help'" >&2
+    exit 1
   fi
+  for flag in $flags; do
+    total=$((total + 1))
+    if ! grep -q -- "$flag" "${docs[@]}"; then
+      echo "check_docs: $name flag '$flag' is advertised by --help but" \
+           "documented in none of: ${docs[*]}" >&2
+      status=1
+    fi
+  done
 done
 
-count=$(echo "$flags" | wc -l)
 if [ "$status" -eq 0 ]; then
-  echo "check_docs: all $count wmsn_cli flags are documented"
+  echo "check_docs: all $total flags (${#binaries[@]} binaries) are documented"
 fi
 exit "$status"

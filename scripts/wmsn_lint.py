@@ -29,6 +29,14 @@ Enforces the repo-wide invariants that generic tooling cannot know about:
                     src/util/random.* — their only legitimate use is inside
                     the deterministic RNG façade.
 
+  process-discipline
+                    fork/exec/system/popen/posix_spawn are confined to
+                    src/campaign/ — the campaign worker pool owns process
+                    creation (crash isolation, fd hygiene, reaping). A
+                    stray fork elsewhere duplicates simulator state and
+                    sanitizer runtimes in ways the pool is built to
+                    contain. (Member calls like rng.fork() are fine.)
+
 Suppress a finding with an inline comment on the offending line (or the
 line directly above):   // wmsn-lint: allow(<rule-id>)
 
@@ -56,6 +64,7 @@ RULES = {
     "observer-contract": "observer wiring outside the ObserverMux contract",
     "include-guard": "header missing #pragma once",
     "banned-header": "<random>/<ctime> outside src/util/random.*",
+    "process-discipline": "fork/exec/system/popen outside src/campaign/",
 }
 
 RNG_TOKENS = [
@@ -89,6 +98,18 @@ STRING_LITERAL = re.compile(r'^\s*"')
 SINGLE_SLOT = re.compile(r"std::function\s*<[^;]*>\s*\w*[oO]bserver_\s*[;{=]")
 
 BANNED_INCLUDE = re.compile(r'#\s*include\s*<(random|ctime)>')
+
+# Process creation calls. The lookbehind excludes member calls (rng.fork(),
+# obj->fork()) and identifiers that merely end in a banned name; a plain or
+# globally-qualified (::fork) call matches. The Rng façade is exempt: its
+# stream-splitting member is *named* fork and its declaration line would
+# otherwise match.
+PROCESS_EXEMPT = re.compile(
+    r"src[/\\]campaign[/\\]|src[/\\]util[/\\]random\.(cpp|hpp)$")
+PROCESS_CALL = re.compile(
+    r"(?<![\w.>])(?:::)?"
+    r"(fork|vfork|execl|execle|execlp|execv|execve|execvp|execvpe"
+    r"|posix_spawnp?|popen|system)\s*\(")
 
 PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
 
@@ -153,6 +174,7 @@ def lint_file(path, rel, findings):
         return
 
     rng_exempt = bool(RNG_EXEMPT.search(rel))
+    process_exempt = bool(PROCESS_EXEMPT.search(rel))
     is_header = rel.endswith((".hpp", ".h"))
 
     if is_header:
@@ -176,6 +198,13 @@ def lint_file(path, rel, findings):
                 findings.append(
                     (rel, i, "banned-header",
                      "<random>/<ctime> only inside src/util/random.*"))
+
+        if (not process_exempt and PROCESS_CALL.search(code)
+                and not allowed("process-discipline", raw, prev)):
+            findings.append(
+                (rel, i, "process-discipline",
+                 "process creation is confined to src/campaign/ (the "
+                 "campaign worker pool owns fork/exec hygiene)"))
 
         if (FLOAT_EQ.search(code) and not GTEST_LINE.search(code)
                 and not allowed("float-equality", raw, prev)):

@@ -1,0 +1,103 @@
+#include "campaign/journal.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace wmsn::campaign {
+
+namespace {
+
+constexpr const char* kHeaderTag = "wmsncamp-journal";
+
+std::string headerLine(std::uint64_t fingerprint, std::size_t runsTotal) {
+  std::ostringstream os;
+  os << kHeaderTag << " fp=" << fingerprint << " runs=" << runsTotal;
+  return os.str();
+}
+
+}  // namespace
+
+Journal::~Journal() { close(); }
+
+void Journal::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Journal Journal::create(const std::string& path, std::uint64_t specFingerprint,
+                        std::size_t runsTotal) {
+  Journal j;
+  j.path_ = path;
+  j.file_ = std::fopen(path.c_str(), "w");
+  WMSN_REQUIRE_MSG(j.file_ != nullptr,
+                   "cannot create campaign journal: " + path);
+  const std::string header = headerLine(specFingerprint, runsTotal) + "\n";
+  std::fwrite(header.data(), 1, header.size(), j.file_);
+  std::fflush(j.file_);
+  return j;
+}
+
+Journal Journal::resume(const std::string& path, std::uint64_t specFingerprint,
+                        std::size_t runsTotal) {
+  std::ifstream in(path, std::ios::binary);
+  WMSN_REQUIRE_MSG(in.good(), "cannot open campaign journal for resume: " + path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+
+  Journal j;
+  j.path_ = path;
+
+  // The header must be intact — a journal killed before the header finished
+  // carries nothing worth resuming, and grafting onto a different spec's
+  // journal would silently corrupt the campaign.
+  const std::size_t headerEnd = content.find('\n');
+  WMSN_REQUIRE_MSG(headerEnd != std::string::npos,
+                   "campaign journal has no complete header line: " + path);
+  WMSN_REQUIRE_MSG(content.substr(0, headerEnd) ==
+                       headerLine(specFingerprint, runsTotal),
+                   "campaign journal does not match this spec (different "
+                   "fingerprint or run count): " + path);
+
+  // Record lines. The final line may be torn by the kill that interrupted
+  // the campaign — only a trailing fragment without its newline is dropped;
+  // a malformed *complete* line is corruption and throws.
+  std::size_t start = headerEnd + 1;
+  while (start < content.size()) {
+    const std::size_t end = content.find('\n', start);
+    if (end == std::string::npos) break;  // torn final append
+    const std::string line = content.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    RunRecord record = decodeRecord(line);
+    const auto [it, inserted] = j.loaded_.emplace(record.id, std::move(record));
+    WMSN_REQUIRE_MSG(inserted,
+                     "campaign journal has duplicate run id: " + it->first);
+    j.ids_.insert(it->first);
+  }
+
+  // Rewrite intact content so the torn fragment (if any) is gone, then keep
+  // the handle open for appends.
+  j.file_ = std::fopen(path.c_str(), "w");
+  WMSN_REQUIRE_MSG(j.file_ != nullptr,
+                   "cannot reopen campaign journal: " + path);
+  const std::string intact = content.substr(0, start);
+  std::fwrite(intact.data(), 1, intact.size(), j.file_);
+  std::fflush(j.file_);
+  return j;
+}
+
+void Journal::append(const RunRecord& record) {
+  WMSN_REQUIRE_MSG(file_ != nullptr, "campaign journal is closed");
+  WMSN_REQUIRE_MSG(ids_.insert(record.id).second,
+                   "campaign journal already holds run: " + record.id);
+  const std::string line = encodeRecord(record) + "\n";
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+}  // namespace wmsn::campaign

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "campaign/record.hpp"
+
+namespace wmsn::campaign {
+
+/// Append-only checkpoint journal: one header line binding the journal to a
+/// spec (fingerprint + run count), then one encoded RunRecord line per
+/// completed run, appended and flushed as workers report. `--resume` loads
+/// it, skips every journaled run, and aggregates the stored records — so a
+/// campaign killed at any point finishes to a byte-identical artifact.
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  Journal(Journal&& other) noexcept { *this = std::move(other); }
+  Journal& operator=(Journal&& other) noexcept {
+    if (this != &other) {
+      close();
+      path_ = std::move(other.path_);
+      file_ = other.file_;
+      other.file_ = nullptr;
+      loaded_ = std::move(other.loaded_);
+      ids_ = std::move(other.ids_);
+    }
+    return *this;
+  }
+
+  /// Creates/truncates the journal and writes the header.
+  static Journal create(const std::string& path, std::uint64_t specFingerprint,
+                        std::size_t runsTotal);
+
+  /// Opens an existing journal for resuming: validates the header against
+  /// the spec, loads every intact record line, then reopens for append.
+  /// A torn final line (the append the kill interrupted) is dropped;
+  /// a torn or mismatched header, or a duplicate run ID, throws.
+  static Journal resume(const std::string& path, std::uint64_t specFingerprint,
+                        std::size_t runsTotal);
+
+  /// Appends one completed run and flushes so a kill -9 right after still
+  /// finds it on resume. Rejects duplicate run IDs.
+  void append(const RunRecord& record);
+
+  /// Records loaded by resume() (empty for a fresh journal), keyed by id.
+  const std::map<std::string, RunRecord>& loaded() const { return loaded_; }
+
+  const std::string& path() const { return path_; }
+
+  void close();
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::map<std::string, RunRecord> loaded_;
+  std::set<std::string> ids_;  ///< every id in the file: loaded + appended
+};
+
+}  // namespace wmsn::campaign

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace wmsn::campaign {
+
+/// Runs in a forked worker: executes job `index` and returns the single-line
+/// payload to ship back to the parent (no embedded newlines). A thrown
+/// exception is caught inside the worker and reported as a crash-free
+/// failure by the caller's own payload convention; a real crash (segfault,
+/// _exit) surfaces as `crashed = true` on the result callback.
+using PoolJobFn = std::function<std::string(std::size_t index)>;
+
+/// Runs in the parent as each job finishes (in completion order, which is
+/// scheduling-dependent): `crashed` means the worker died mid-job and
+/// `payload` is empty; `worker` is the slot that ran it.
+using PoolResultFn = std::function<void(std::size_t index, bool crashed,
+                                        const std::string& payload,
+                                        unsigned worker)>;
+
+/// Scheduling telemetry. Everything here depends on OS timing — callers must
+/// not let any of it leak into deterministic artifacts.
+struct PoolStats {
+  std::uint64_t stolen = 0;    ///< jobs moved off their home worker's queue
+  std::uint64_t crashes = 0;   ///< worker deaths observed mid-job
+  std::uint64_t respawns = 0;  ///< replacement workers forked
+  std::vector<std::uint64_t> perWorkerCompleted;
+};
+
+/// Fork-based process pool with parent-mediated work stealing and per-worker
+/// crash isolation.
+///
+/// Jobs 0..jobCount-1 are dealt round-robin onto `workers` persistent forked
+/// children. The parent drives everything through pipe pairs (index lines
+/// down, payload lines up) and a poll() loop; an idle worker whose own queue
+/// drained steals from the tail of the longest remaining queue. A worker
+/// that dies mid-job (EOF on its result pipe) marks only that job crashed —
+/// the parent reaps it, forks a replacement, and the campaign continues.
+///
+/// Even `workers == 1` forks: crash isolation is part of the contract, not
+/// an optimization.
+PoolStats runForkPool(std::size_t jobCount, unsigned workers,
+                      const PoolJobFn& job, const PoolResultFn& onResult);
+
+}  // namespace wmsn::campaign

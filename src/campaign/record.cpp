@@ -1,0 +1,184 @@
+#include "campaign/record.hpp"
+
+#include "util/json.hpp"
+#include "util/require.hpp"
+
+namespace wmsn::campaign {
+
+namespace {
+
+// Fields separated by US (\x1f). The metrics wire blob rides as the FINAL
+// field: it contains its own RS/US/GS framing, so the decoder splits only
+// the fixed-count prefix and keeps the tail intact.
+constexpr char kSep = '\x1f';
+constexpr const char* kTag = "wmsnrec1";
+constexpr std::size_t kFixedFields = 29;  // tag..lastScalar, excl. metrics
+
+void appendField(std::string& out, const std::string& field) {
+  out += kSep;
+  out += field;
+}
+
+std::uint64_t parseU64(const std::string& s) {
+  WMSN_REQUIRE_MSG(!s.empty() &&
+                       s.find_first_not_of("0123456789") == std::string::npos,
+                   "malformed run-record integer: '" + s + "'");
+  return std::stoull(s);
+}
+
+/// Identity strings and error messages must survive the line framing: no
+/// newlines, no US. (They are code-authored labels and exception texts.)
+std::string sanitize(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s)
+    out += (c == '\n' || c == '\r' || c == kSep) ? ' ' : c;
+  return out;
+}
+
+}  // namespace
+
+RunRecord makeRecord(const std::string& id, const std::string& cell,
+                     std::uint64_t seed, std::uint32_t seedIndex,
+                     const core::RunResult& result, double totalSimSeconds) {
+  RunRecord r;
+  r.id = id;
+  r.cell = cell;
+  r.seed = seed;
+  r.seedIndex = seedIndex;
+  r.status = RunRecord::Status::kOk;
+  r.pdr = result.deliveryRatio;
+  r.meanLatencyMs = result.meanLatencyMs;
+  r.p95LatencyMs = result.p95LatencyMs;
+  r.meanHops = result.meanHops;
+  r.offeredPps = result.offeredPps;
+  r.goodputPps = result.goodputPps;
+  r.generated = result.generated;
+  r.delivered = result.delivered;
+  r.queueDrops = result.queueDrops;
+  r.macDrops = result.macDrops;
+  r.collisions = result.collisions;
+  r.controlBytes = result.controlBytes;
+  r.dataBytes = result.dataBytes;
+  r.roundsCompleted = result.roundsCompleted;
+  r.firstDeathObserved = result.firstDeathObserved;
+  r.lifetimeS =
+      result.firstDeathObserved ? result.firstDeathSeconds : totalSimSeconds;
+  r.energyTotalJ = result.sensorEnergy.totalJ;
+  r.energyD2 = result.sensorEnergy.varianceD2;
+  r.outageEpisodes = result.faults.outageEpisodes;
+  r.meanRecoveryLatencyS = result.faults.meanRecoveryLatencyS;
+  r.pdrDuringOutage = result.faults.pdrDuringOutage;
+  if (result.observations) r.metricsWire = result.observations->metrics.wire();
+  return r;
+}
+
+RunRecord makeFailedRecord(const std::string& id, const std::string& cell,
+                           std::uint64_t seed, std::uint32_t seedIndex,
+                           const std::string& error) {
+  RunRecord r;
+  r.id = id;
+  r.cell = cell;
+  r.seed = seed;
+  r.seedIndex = seedIndex;
+  r.status = RunRecord::Status::kFailed;
+  r.error = error;
+  return r;
+}
+
+std::string encodeRecord(const RunRecord& record) {
+  std::string out = kTag;
+  appendField(out, sanitize(record.id));
+  appendField(out, sanitize(record.cell));
+  appendField(out, std::to_string(record.seed));
+  appendField(out, std::to_string(record.seedIndex));
+  appendField(out, record.ok() ? "ok" : "failed");
+  appendField(out, sanitize(record.error));
+  appendField(out, wireDouble(record.pdr));
+  appendField(out, wireDouble(record.meanLatencyMs));
+  appendField(out, wireDouble(record.p95LatencyMs));
+  appendField(out, wireDouble(record.meanHops));
+  appendField(out, wireDouble(record.offeredPps));
+  appendField(out, wireDouble(record.goodputPps));
+  appendField(out, std::to_string(record.generated));
+  appendField(out, std::to_string(record.delivered));
+  appendField(out, std::to_string(record.queueDrops));
+  appendField(out, std::to_string(record.macDrops));
+  appendField(out, std::to_string(record.collisions));
+  appendField(out, std::to_string(record.controlBytes));
+  appendField(out, std::to_string(record.dataBytes));
+  appendField(out, std::to_string(record.roundsCompleted));
+  appendField(out, record.firstDeathObserved ? "1" : "0");
+  appendField(out, wireDouble(record.lifetimeS));
+  appendField(out, wireDouble(record.energyTotalJ));
+  appendField(out, wireDouble(record.energyD2));
+  appendField(out, std::to_string(record.outageEpisodes));
+  appendField(out, wireDouble(record.meanRecoveryLatencyS));
+  appendField(out, wireDouble(record.pdrDuringOutage));
+  appendField(out, std::to_string(record.metricsWire.size()));
+  out += kSep;
+  out += record.metricsWire;
+  WMSN_REQUIRE_MSG(out.find('\n') == std::string::npos,
+                   "run record encoding may not contain newlines");
+  return out;
+}
+
+RunRecord decodeRecord(const std::string& line) {
+  // Split exactly kFixedFields prefix fields; the remainder is the metrics
+  // wire blob (whose own separators must not be split).
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i + 1 < kFixedFields; ++i) {
+    const std::size_t pos = line.find(kSep, start);
+    WMSN_REQUIRE_MSG(pos != std::string::npos,
+                     "truncated run record (field " + std::to_string(i) + ")");
+    fields.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  const std::size_t pos = line.find(kSep, start);
+  WMSN_REQUIRE_MSG(pos != std::string::npos, "truncated run record (tail)");
+  fields.push_back(line.substr(start, pos - start));
+  const std::string tail = line.substr(pos + 1);
+
+  WMSN_REQUIRE_MSG(fields.size() == kFixedFields && fields[0] == kTag,
+                   "run record missing '" + std::string(kTag) + "' tag");
+  RunRecord r;
+  std::size_t f = 1;
+  r.id = fields[f++];
+  r.cell = fields[f++];
+  r.seed = parseU64(fields[f++]);
+  r.seedIndex = static_cast<std::uint32_t>(parseU64(fields[f++]));
+  const std::string& status = fields[f++];
+  WMSN_REQUIRE_MSG(status == "ok" || status == "failed",
+                   "run record has unknown status '" + status + "'");
+  r.status = status == "ok" ? RunRecord::Status::kOk : RunRecord::Status::kFailed;
+  r.error = fields[f++];
+  r.pdr = parseWireDouble(fields[f++]);
+  r.meanLatencyMs = parseWireDouble(fields[f++]);
+  r.p95LatencyMs = parseWireDouble(fields[f++]);
+  r.meanHops = parseWireDouble(fields[f++]);
+  r.offeredPps = parseWireDouble(fields[f++]);
+  r.goodputPps = parseWireDouble(fields[f++]);
+  r.generated = parseU64(fields[f++]);
+  r.delivered = parseU64(fields[f++]);
+  r.queueDrops = parseU64(fields[f++]);
+  r.macDrops = parseU64(fields[f++]);
+  r.collisions = parseU64(fields[f++]);
+  r.controlBytes = parseU64(fields[f++]);
+  r.dataBytes = parseU64(fields[f++]);
+  r.roundsCompleted = static_cast<std::uint32_t>(parseU64(fields[f++]));
+  r.firstDeathObserved = fields[f++] == "1";
+  r.lifetimeS = parseWireDouble(fields[f++]);
+  r.energyTotalJ = parseWireDouble(fields[f++]);
+  r.energyD2 = parseWireDouble(fields[f++]);
+  r.outageEpisodes = parseU64(fields[f++]);
+  r.meanRecoveryLatencyS = parseWireDouble(fields[f++]);
+  r.pdrDuringOutage = parseWireDouble(fields[f++]);
+  const std::uint64_t wireLen = parseU64(fields[f++]);
+  WMSN_REQUIRE_MSG(tail.size() == wireLen,
+                   "run record metrics blob length mismatch");
+  r.metricsWire = tail;
+  return r;
+}
+
+}  // namespace wmsn::campaign

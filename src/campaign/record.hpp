@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace wmsn::campaign {
+
+/// What one campaign run reports back from its worker process: identity,
+/// status, the scalar metrics the statistics layer aggregates, and (when
+/// the spec enabled `metrics = on`) the run's MetricsRegistry in wire form
+/// for the seed-order merge in the parent. This is also exactly what a
+/// journal line stores, so a resumed campaign aggregates byte-identically
+/// to an uninterrupted one.
+struct RunRecord {
+  enum class Status : std::uint8_t { kOk, kFailed };
+
+  std::string id;
+  std::string cell;
+  std::uint64_t seed = 0;
+  std::uint32_t seedIndex = 0;
+  Status status = Status::kOk;
+  std::string error;  ///< failure reason; empty when ok
+
+  // Traffic & delivery.
+  double pdr = 0.0;
+  double meanLatencyMs = 0.0;
+  double p95LatencyMs = 0.0;
+  double meanHops = 0.0;
+  double offeredPps = 0.0;
+  double goodputPps = 0.0;
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t queueDrops = 0;
+  std::uint64_t macDrops = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t controlBytes = 0;
+  std::uint64_t dataBytes = 0;
+  std::uint32_t roundsCompleted = 0;
+
+  // Lifetime (censored at end-of-run when no sensor died).
+  bool firstDeathObserved = false;
+  double lifetimeS = 0.0;
+
+  // Energy.
+  double energyTotalJ = 0.0;
+  double energyD2 = 0.0;
+
+  // Fault recovery.
+  std::uint64_t outageEpisodes = 0;
+  double meanRecoveryLatencyS = 0.0;
+  double pdrDuringOutage = 1.0;
+
+  /// obs::MetricsRegistry::wire() of the run's registry; empty when the
+  /// spec did not enable metrics.
+  std::string metricsWire;
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+/// Builds an ok-record from a finished run. `totalSimSeconds` censors the
+/// lifetime metric when no sensor died.
+RunRecord makeRecord(const std::string& id, const std::string& cell,
+                     std::uint64_t seed, std::uint32_t seedIndex,
+                     const core::RunResult& result, double totalSimSeconds);
+
+/// Builds a failed-record (worker crash or in-run exception).
+RunRecord makeFailedRecord(const std::string& id, const std::string& cell,
+                           std::uint64_t seed, std::uint32_t seedIndex,
+                           const std::string& error);
+
+/// Single-line, newline-free, lossless encoding (doubles as hexfloat) used
+/// on the worker result pipe and in the journal. decodeRecord is its exact
+/// inverse; it throws PreconditionError on malformed input.
+std::string encodeRecord(const RunRecord& record);
+RunRecord decodeRecord(const std::string& line);
+
+}  // namespace wmsn::campaign

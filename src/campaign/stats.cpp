@@ -1,0 +1,56 @@
+#include "campaign/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace wmsn::campaign {
+
+Aggregate aggregate(const std::vector<double>& samples) {
+  Aggregate a;
+  a.n = samples.size();
+  if (a.n == 0) return a;
+  a.min = *std::min_element(samples.begin(), samples.end());
+  a.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  a.mean = sum / static_cast<double>(a.n);
+  if (a.n < 2) return a;
+  double ss = 0.0;
+  for (const double s : samples) ss += (s - a.mean) * (s - a.mean);
+  a.stddev = std::sqrt(ss / static_cast<double>(a.n - 1));
+  a.ci95 = tCritical95(a.n - 1) * a.stddev / std::sqrt(static_cast<double>(a.n));
+  return a;
+}
+
+double tCritical95(std::size_t df) {
+  // Two-sided 95% quantiles of Student's t; beyond df = 30 the normal
+  // approximation is within 2%.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  WMSN_REQUIRE_MSG(df >= 1, "t critical value needs df >= 1");
+  if (df <= 30) return kTable[df - 1];
+  return 1.96;
+}
+
+double signTestTwoSided(std::size_t positives, std::size_t negatives) {
+  const std::size_t n = positives + negatives;
+  if (n == 0 || positives == negatives) return 1.0;
+  // p = 2 * P(X <= k) for X ~ Binomial(n, 1/2) with k = min(pos, neg);
+  // k < n - k here, so the doubled tails are disjoint and the value exact.
+  // C(n, i) / 2^n accumulates via the multiplicative recurrence, which
+  // stays in double range for any campaign-sized n.
+  const std::size_t k = std::min(positives, negatives);
+  double tail = 0.0;
+  double term = std::pow(0.5, static_cast<double>(n));  // C(n,0)/2^n
+  for (std::size_t i = 0; i <= k; ++i) {
+    tail += term;
+    term *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return std::min(2.0 * tail, 1.0);
+}
+
+}  // namespace wmsn::campaign

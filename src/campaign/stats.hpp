@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wmsn::campaign {
+
+/// Per-cell summary of one metric across seed replicas.
+struct Aggregate {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample stddev (n-1); 0 when n < 2
+  double ci95 = 0.0;    ///< t * stddev / sqrt(n) half-width; 0 when n < 2
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Aggregate aggregate(const std::vector<double>& samples);
+
+/// Two-sided Student-t critical value at 95% confidence for `df` degrees of
+/// freedom (table through df = 30, then the normal 1.96).
+double tCritical95(std::size_t df);
+
+/// Exact two-sided binomial sign test: probability of a |#pos - #neg| split
+/// at least this extreme under H0 p = 1/2, ties excluded. Returns 1.0 when
+/// every pair tied.
+double signTestTwoSided(std::size_t positives, std::size_t negatives);
+
+}  // namespace wmsn::campaign

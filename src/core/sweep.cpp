@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "util/random.hpp"
+
 namespace wmsn::core {
 
 std::vector<RunResult> runScenariosParallel(
@@ -44,6 +46,17 @@ std::vector<RunResult> runScenariosParallel(
 
   if (firstError) std::rethrow_exception(firstError);
   return results;
+}
+
+std::vector<ScenarioConfig> expandSeeds(const ScenarioConfig& base,
+                                        std::size_t count) {
+  std::vector<ScenarioConfig> configs;
+  configs.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    configs.push_back(base);
+    configs.back().seed = replicaSeed(base.seed, k);
+  }
+  return configs;
 }
 
 }  // namespace wmsn::core

@@ -14,6 +14,12 @@ namespace wmsn::core {
 std::vector<RunResult> runScenariosParallel(
     const std::vector<ScenarioConfig>& configs, unsigned threads = 0);
 
+/// `count` copies of `base` with seeds replicaSeed(base.seed, 0..count-1) —
+/// the one seed-replication expansion wmsn_cli --repeat and the campaign
+/// runner share (util/random.hpp documents the derivation contract).
+std::vector<ScenarioConfig> expandSeeds(const ScenarioConfig& base,
+                                        std::size_t count);
+
 /// Averages a metric extracted from several results (seed replication).
 template <typename Fn>
 double meanOver(const std::vector<RunResult>& results, Fn metric) {

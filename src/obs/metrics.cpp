@@ -6,43 +6,15 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/json.hpp"
 #include "util/require.hpp"
 
 namespace wmsn::obs {
 
 namespace {
 
-/// Shortest round-trip-ish formatting that is locale-independent and stable
-/// across runs — JSON output must be byte-identical for identical inputs.
-std::string formatDouble(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.12g", v);
-  return buf;
-}
-
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+using wmsn::jsonEscape;
+using wmsn::jsonNumber;
 
 void appendLabels(std::ostringstream& os, const Labels& labels) {
   os << "{";
@@ -91,6 +63,18 @@ void Histogram::merge(const Histogram& other) {
     counts_[i] += other.counts_[i];
   count_ += other.count_;
   sum_ += other.sum_;
+}
+
+Histogram Histogram::fromState(std::vector<double> edges,
+                               std::vector<std::uint64_t> counts, double sum) {
+  Histogram h(std::move(edges));
+  WMSN_REQUIRE_MSG(counts.size() == h.edges_.size() + 1,
+                   "histogram state wants edges.size()+1 bucket counts");
+  h.counts_ = std::move(counts);
+  h.count_ = 0;
+  for (const std::uint64_t c : h.counts_) h.count_ += c;
+  h.sum_ = sum;
+  return h;
 }
 
 MetricsRegistry::Entry& MetricsRegistry::lookup(const std::string& name,
@@ -201,16 +185,16 @@ std::string MetricsRegistry::json() const {
     if (const auto* c = std::get_if<Counter>(&entry.metric)) {
       os << ",\"type\":\"counter\",\"value\":" << c->value();
     } else if (const auto* g = std::get_if<Gauge>(&entry.metric)) {
-      os << ",\"type\":\"gauge\",\"value\":" << formatDouble(g->value());
+      os << ",\"type\":\"gauge\",\"value\":" << jsonNumber(g->value());
     } else {
       const Histogram& h = std::get<Histogram>(entry.metric);
       os << ",\"type\":\"histogram\",\"count\":" << h.count()
-         << ",\"sum\":" << formatDouble(h.sum()) << ",\"buckets\":[";
+         << ",\"sum\":" << jsonNumber(h.sum()) << ",\"buckets\":[";
       for (std::size_t i = 0; i < h.counts().size(); ++i) {
         if (i) os << ",";
         os << "{\"le\":";
         if (i < h.edges().size())
-          os << formatDouble(h.edges()[i]);
+          os << jsonNumber(h.edges()[i]);
         else
           os << "\"inf\"";
         os << ",\"count\":" << h.counts()[i] << "}";
@@ -221,6 +205,136 @@ std::string MetricsRegistry::json() const {
   }
   os << "\n]}\n";
   return os.str();
+}
+
+namespace {
+
+// Wire framing: records separated by RS (\x1e), fields by US (\x1f), label
+// key/value tokens by GS (\x1d). All three are banned from metric names and
+// label strings (code-authored identifiers), which keeps parsing a pair of
+// splits. The first record is the format tag.
+constexpr char kRecordSep = '\x1e';
+constexpr char kFieldSep = '\x1f';
+constexpr char kTokenSep = '\x1d';
+constexpr const char* kWireTag = "wmsnmr1";
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+void requireWireSafe(const std::string& s) {
+  for (const char c : s)
+    WMSN_REQUIRE_MSG(static_cast<unsigned char>(c) >= 0x20,
+                     "control character in metric name/label: not wire-safe");
+}
+
+std::uint64_t parseU64(const std::string& s) {
+  WMSN_REQUIRE_MSG(!s.empty() &&
+                       s.find_first_not_of("0123456789") == std::string::npos,
+                   "malformed wire integer: '" + s + "'");
+  return std::stoull(s);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::wire() const {
+  std::string out = kWireTag;
+  for (const auto& [key, entry] : metrics_) {
+    requireWireSafe(entry.name);
+    out += kRecordSep;
+    std::string labelBlob;
+    for (const auto& [k, v] : entry.labels) {
+      requireWireSafe(k);
+      requireWireSafe(v);
+      if (!labelBlob.empty()) labelBlob += kTokenSep;
+      labelBlob += k;
+      labelBlob += kTokenSep;
+      labelBlob += v;
+    }
+    if (const auto* c = std::get_if<Counter>(&entry.metric)) {
+      out += 'c';
+      out += kFieldSep;
+      out += entry.name + kFieldSep + labelBlob + kFieldSep;
+      out += std::to_string(c->value());
+    } else if (const auto* g = std::get_if<Gauge>(&entry.metric)) {
+      out += 'g';
+      out += kFieldSep;
+      out += entry.name + kFieldSep + labelBlob + kFieldSep;
+      out += wireDouble(g->value());
+    } else {
+      const Histogram& h = std::get<Histogram>(entry.metric);
+      out += 'h';
+      out += kFieldSep;
+      out += entry.name + kFieldSep + labelBlob + kFieldSep;
+      std::string edges;
+      for (const double e : h.edges()) {
+        if (!edges.empty()) edges += ';';
+        edges += wireDouble(e);
+      }
+      std::string counts;
+      for (const std::uint64_t c : h.counts()) {
+        if (!counts.empty()) counts += ';';
+        counts += std::to_string(c);
+      }
+      out += edges + kFieldSep + counts + kFieldSep + wireDouble(h.sum());
+    }
+  }
+  return out;
+}
+
+MetricsRegistry MetricsRegistry::fromWire(const std::string& wire) {
+  MetricsRegistry registry;
+  const std::vector<std::string> records = split(wire, kRecordSep);
+  WMSN_REQUIRE_MSG(!records.empty() && records.front() == kWireTag,
+                   "metrics wire blob missing '" + std::string(kWireTag) +
+                       "' tag");
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    const std::vector<std::string> fields = split(records[r], kFieldSep);
+    WMSN_REQUIRE_MSG(fields.size() >= 4 && fields[0].size() == 1,
+                     "malformed metrics wire record");
+    const char kind = fields[0][0];
+    const std::string& name = fields[1];
+    Labels labels;
+    if (!fields[2].empty()) {
+      const std::vector<std::string> tokens = split(fields[2], kTokenSep);
+      WMSN_REQUIRE_MSG(tokens.size() % 2 == 0,
+                       "odd label token count in metrics wire record");
+      for (std::size_t i = 0; i < tokens.size(); i += 2)
+        labels.emplace_back(tokens[i], tokens[i + 1]);
+    }
+    if (kind == 'c') {
+      WMSN_REQUIRE_MSG(fields.size() == 4, "counter wire record wants 4 fields");
+      registry.counter(name, labels).add(parseU64(fields[3]));
+    } else if (kind == 'g') {
+      WMSN_REQUIRE_MSG(fields.size() == 4, "gauge wire record wants 4 fields");
+      registry.gauge(name, labels).set(parseWireDouble(fields[3]));
+    } else if (kind == 'h') {
+      WMSN_REQUIRE_MSG(fields.size() == 6,
+                       "histogram wire record wants 6 fields");
+      std::vector<double> edges;
+      for (const std::string& e : split(fields[3], ';'))
+        edges.push_back(parseWireDouble(e));
+      std::vector<std::uint64_t> counts;
+      for (const std::string& c : split(fields[4], ';'))
+        counts.push_back(parseU64(c));
+      registry.histogram(name, edges, labels)
+          .merge(Histogram::fromState(std::move(edges), std::move(counts),
+                                      parseWireDouble(fields[5])));
+    } else {
+      WMSN_REQUIRE_MSG(false, "unknown metrics wire record kind");
+    }
+  }
+  return registry;
 }
 
 void MetricsRegistry::writeJson(const std::string& path) const {

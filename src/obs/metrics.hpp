@@ -56,6 +56,12 @@ class Histogram {
   /// Adds another histogram's counts. Requires identical bucket edges.
   void merge(const Histogram& other);
 
+  /// Rebuilds a histogram from serialised state (wire transport between
+  /// campaign worker processes). `counts` must hold edges.size()+1 buckets;
+  /// count() becomes their sum.
+  static Histogram fromState(std::vector<double> edges,
+                             std::vector<std::uint64_t> counts, double sum);
+
  private:
   std::vector<double> edges_;
   std::vector<std::uint64_t> counts_;
@@ -95,6 +101,15 @@ class MetricsRegistry {
   /// {"metrics":[{"name":...,"type":...,"labels":{...},...}, ...]}.
   std::string json() const;
   void writeJson(const std::string& path) const;
+
+  /// Single-line wire serialisation for cross-process transport (the
+  /// campaign runner ships per-run registries from forked workers over a
+  /// pipe). Lossless: doubles travel as hexfloat, so
+  /// fromWire(r.wire()).json() == r.json() exactly. Contains no newlines;
+  /// metric names and label strings must be free of ASCII control
+  /// characters (they are code-authored identifiers).
+  std::string wire() const;
+  static MetricsRegistry fromWire(const std::string& wire);
 
  private:
   struct Entry {

@@ -1,0 +1,55 @@
+#include "util/json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/require.hpp"
+
+namespace wmsn {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string wireDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+double parseWireDouble(const std::string& s) {
+  WMSN_REQUIRE_MSG(!s.empty(), "empty wire double");
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  WMSN_REQUIRE_MSG(end == s.c_str() + s.size(),
+                   "malformed wire double: '" + s + "'");
+  return v;
+}
+
+}  // namespace wmsn

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+namespace wmsn {
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+/// Shared by every deterministic JSON emitter in the tree (obs registry,
+/// campaign artifacts) so they all agree on the bytes.
+std::string jsonEscape(const std::string& s);
+
+/// Locale-independent, stable double formatting for JSON output (%.12g).
+/// Short enough to read, precise enough that equal doubles always produce
+/// equal bytes — the registry/artifact byte-identity guarantees ride on it.
+std::string jsonNumber(double v);
+
+/// Exact round-trip double encoding for wire transport between processes
+/// (hexfloat). Human-hostile but lossless; use jsonNumber for documents.
+std::string wireDouble(double v);
+
+/// Inverse of wireDouble. Throws PreconditionError on garbage.
+double parseWireDouble(const std::string& s);
+
+}  // namespace wmsn

@@ -87,4 +87,21 @@ double Rng::exponential(double rate) {
 
 Rng Rng::fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
 
+std::uint64_t replicaSeed(std::uint64_t base, std::uint64_t k) {
+  // Consecutive seeds, not a hash: `--seed 40 --repeat 3` has always meant
+  // seeds {40,41,42}, and the committed BENCH_*.json baselines pin exactly
+  // this sequence. Changing the derivation invalidates every recorded
+  // trajectory, so it lives here, once.
+  return base + k;
+}
+
+std::vector<std::uint64_t> seedSequence(std::uint64_t base,
+                                        std::size_t count) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::size_t k = 0; k < count; ++k)
+    seeds.push_back(replicaSeed(base, k));
+  return seeds;
+}
+
 }  // namespace wmsn

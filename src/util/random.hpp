@@ -84,4 +84,16 @@ class Rng {
   double spareNormal_ = 0.0;
 };
 
+/// Seed of the k-th replica of a multi-seed experiment. THE single
+/// definition of how `--seed S --repeat K` (wmsn_cli) and a campaign spec's
+/// `seed`/`repeats` expand into per-run seeds — both paths call this, so
+/// replica k of base seed S names the same simulation everywhere. Wraps
+/// modulo 2^64 like the unsigned arithmetic it replaces.
+std::uint64_t replicaSeed(std::uint64_t base, std::uint64_t k);
+
+/// The full replica seed sequence [replicaSeed(base,0) .. replicaSeed(base,
+/// count-1)].
+std::vector<std::uint64_t> seedSequence(std::uint64_t base,
+                                        std::size_t count);
+
 }  // namespace wmsn
