@@ -40,6 +40,10 @@ void usage() {
       "  --stop-after <n>      stop after n fresh runs without writing the\n"
       "                        artifact; exit 3 (deterministic kill, for the\n"
       "                        resume gate)\n"
+      "  --flight-recorder-dir <dir>\n"
+      "                        arm the crash flight recorder in every worker;\n"
+      "                        a dying run dumps its recent packet spans to\n"
+      "                        <dir>/flight-<runId>.jsonl\n"
       "  --dry-run             print the expanded plan and exit\n"
       "  --quiet               suppress per-run progress lines\n";
 }
@@ -77,6 +81,8 @@ int main(int argc, char** argv) {
       opts.workerStats = true;
     } else if (arg == "--stop-after") {
       opts.stopAfter = std::stoul(next());
+    } else if (arg == "--flight-recorder-dir") {
+      opts.flightRecorderDir = next();
     } else if (arg == "--dry-run") {
       dryRun = true;
     } else if (arg == "--quiet") {

@@ -7,12 +7,16 @@
 //   ./wmsn_cli --protocol mlr --sleep --lifetime
 //   ./wmsn_cli --list
 
+#include <cmath>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 
 #include "core/wmsn.hpp"
+#include "obs/trace_analyze.hpp"
 
 namespace {
 
@@ -86,6 +90,18 @@ void usage() {
       "  --svg <path>          write the final topology/energy heat map\n"
       "  --trace <path>        write a per-frame event trace\n"
       "  --trace-format <f>    csv|jsonl trace serialisation (default csv)\n"
+      "  --trace-spans <path>  write causal per-reading lifecycle spans as\n"
+      "                        Chrome-trace-event JSONL (--repeat merges all\n"
+      "                        seeds in order; byte-identical at any --threads)\n"
+      "  --trace-sample <f>    head-sample fraction of readings in (0,1]\n"
+      "                        traced (deterministic hash of uid; default 1)\n"
+      "  --trace-analyze <p>   analyze a span JSONL file: reconstruct delivery\n"
+      "                        paths, route flaps, reroute latency, drop\n"
+      "                        attribution; print the report and exit\n"
+      "                        (--metrics-out adds wmsn_trace_* metrics JSON)\n"
+      "  --flight-recorder <p> arm the crash flight recorder: on invariant\n"
+      "                        failure or fatal signal, dump the last spans\n"
+      "                        from the in-memory ring to <p>\n"
       "  --metrics-out <path>  write the end-of-run metrics registry as JSON\n"
       "  --timeseries-out <p>  write the per-round time series (CSV, or JSON\n"
       "                        for a .json path; --repeat concatenates CSV)\n"
@@ -117,6 +133,8 @@ int main(int argc, char** argv) {
   std::string tracePath;
   std::string metricsPath;
   std::string timeseriesPath;
+  std::string traceSpansPath;
+  std::string traceAnalyzePath;
   obs::TraceFormat traceFormat = obs::TraceFormat::kCsv;
   unsigned repeat = 1;
   unsigned threads = 0;
@@ -287,6 +305,21 @@ int main(int argc, char** argv) {
         std::cerr << "unknown trace format: " << name << "\n";
         return 2;
       }
+    } else if (arg == "--trace-spans") {
+      traceSpansPath = next();
+      cfg.obs.traceSpans = true;
+    } else if (arg == "--trace-sample") {
+      const double f = std::stod(next());
+      if (f <= 0.0 || f > 1.0) {
+        std::cerr << "--trace-sample expects a fraction in (0,1]\n";
+        return 2;
+      }
+      cfg.obs.traceSamplePermille =
+          static_cast<std::uint32_t>(std::lround(f * 1000.0));
+    } else if (arg == "--trace-analyze") {
+      traceAnalyzePath = next();
+    } else if (arg == "--flight-recorder") {
+      obs::setFlightRecorderPath(next());
     } else if (arg == "--metrics-out") {
       metricsPath = next();
       cfg.obs.metrics = true;
@@ -312,6 +345,33 @@ int main(int argc, char** argv) {
     cfg.mlr.failover = true;
     if (cfg.spr.retryBackoff.us == 0)
       cfg.spr.retryBackoff = sim::Time::seconds(0.2);
+  }
+
+  if (!traceAnalyzePath.empty()) {
+    // Standalone analytics mode: no simulation — reconstruct reading fates
+    // from a previously exported span JSONL file.
+    std::ifstream in(traceAnalyzePath, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open trace file: " << traceAnalyzePath << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+      const auto spans = obs::parseTraceJsonl(buf.str());
+      const obs::TraceAnalysis analysis = obs::analyzeSpans(spans);
+      std::cout << obs::analysisReport(analysis);
+      if (!metricsPath.empty()) {
+        obs::MetricsRegistry registry;
+        obs::fillTraceMetrics(analysis, registry);
+        registry.writeJson(metricsPath);
+        std::cout << "(trace metrics written to " << metricsPath << ")\n";
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
   }
 
   try {
@@ -370,6 +430,21 @@ int main(int argc, char** argv) {
         std::cout << "(time series with " << rows << " rounds written to "
                   << timeseriesPath << ")\n";
       }
+      if (!traceSpansPath.empty()) {
+        // Span logs concatenate in seed order — the sweep's input order —
+        // so the merged JSONL is byte-identical at any --threads value.
+        std::string merged;
+        std::size_t spans = 0;
+        for (const auto& r : results) {
+          if (!r.observations) continue;
+          merged += r.observations->trace.jsonl();
+          spans += r.observations->trace.spans.size();
+        }
+        std::ofstream out(traceSpansPath, std::ios::binary);
+        out << merged;
+        std::cout << "(" << spans << " spans for " << repeat
+                  << " seeds written to " << traceSpansPath << ")\n";
+      }
       if (cfg.obs.profile) {
         obs::Profiler merged;
         for (const auto& r : results)
@@ -393,6 +468,11 @@ int main(int argc, char** argv) {
       std::cout << "(" << toString(trace.format()) << " trace with "
                 << trace.rows() << " events written to " << tracePath
                 << ")\n";
+    }
+    if (!traceSpansPath.empty() && result.observations) {
+      result.observations->trace.writeFile(traceSpansPath);
+      std::cout << "(" << result.observations->trace.spans.size()
+                << " spans written to " << traceSpansPath << ")\n";
     }
     if (!metricsPath.empty() && result.observations) {
       result.observations->metrics.writeJson(metricsPath);

@@ -11,6 +11,9 @@
 #                (SKIPs when clang-tidy is not installed)
 #   wmsn-lint    scripts/wmsn_lint.py project-specific invariant checks
 #   docs         scripts/check_docs.sh CLI-flag/documentation drift
+#   campaign     scripts/check_campaign.sh kill/resume/crash-containment
+#   obs-budget   bench_obs_overhead --check observability overhead budget
+#                (null trace sink <= 2%, sampled span tracing <= 5%)
 #
 # and prints a per-gate summary table. Exit 0 iff no gate FAILed (SKIPs are
 # not failures: a gate whose tool is absent from the image is gated, not
@@ -140,6 +143,21 @@ if [ -x "$campaign_cli" ]; then
   fi
 else
   note_gate campaign SKIP "no wmsn_campaign binary (werror build failed?)"
+fi
+
+# 9. Observability overhead budget: causal tracing must not distort the
+#    experiments it observes. Evaluated on min-of-reps wall time, so a noisy
+#    scheduler costs retries, not false failures.
+obs_bench="$repo/build-werror/bench/bench_obs_overhead"
+if [ -x "$obs_bench" ]; then
+  if obs_out="$("$obs_bench" --reps 5 --check 2>&1)"; then
+    note_gate obs-budget PASS "$(echo "$obs_out" | tail -1)"
+  else
+    echo "$obs_out"
+    note_gate obs-budget FAIL "budget exceeded (see above)"
+  fi
+else
+  note_gate obs-budget SKIP "no bench_obs_overhead binary"
 fi
 
 echo

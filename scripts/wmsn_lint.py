@@ -37,6 +37,13 @@ Enforces the repo-wide invariants that generic tooling cannot know about:
                     sanitizer runtimes in ways the pool is built to
                     contain. (Member calls like rng.fork() are fine.)
 
+  trace-discipline  Hot-path trace emission goes through the WMSN_TRACE
+                    macro (src/obs/packet_trace.hpp): it null-guards the
+                    tracer and keeps every emission site greppable. Direct
+                    emitSpan()/onEvent() calls outside src/obs/ bypass the
+                    guard and the disabled-tracing zero-cost contract.
+                    (Tests may drive sinks directly.)
+
 Suppress a finding with an inline comment on the offending line (or the
 line directly above):   // wmsn-lint: allow(<rule-id>)
 
@@ -65,6 +72,7 @@ RULES = {
     "include-guard": "header missing #pragma once",
     "banned-header": "<random>/<ctime> outside src/util/random.*",
     "process-discipline": "fork/exec/system/popen outside src/campaign/",
+    "trace-discipline": "direct emitSpan/onEvent outside src/obs/ (use WMSN_TRACE)",
 }
 
 RNG_TOKENS = [
@@ -112,6 +120,13 @@ PROCESS_CALL = re.compile(
     r"|posix_spawnp?|popen|system)\s*\(")
 
 PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
+
+# Trace emission outside the obs layer must ride the WMSN_TRACE macro so
+# the null-tracer guard (and the "tracing off costs nothing" contract) is
+# uniform. src/obs/ owns the primitives; tests drive sinks directly by
+# design.
+TRACE_EXEMPT = re.compile(r"src[/\\]obs[/\\]|tests[/\\]")
+TRACE_CALL = re.compile(r"\b(emitSpan|onEvent)\s*\(")
 
 
 def allowed(rule, line, prev_line):
@@ -175,6 +190,7 @@ def lint_file(path, rel, findings):
 
     rng_exempt = bool(RNG_EXEMPT.search(rel))
     process_exempt = bool(PROCESS_EXEMPT.search(rel))
+    trace_exempt = bool(TRACE_EXEMPT.search(rel))
     is_header = rel.endswith((".hpp", ".h"))
 
     if is_header:
@@ -205,6 +221,13 @@ def lint_file(path, rel, findings):
                 (rel, i, "process-discipline",
                  "process creation is confined to src/campaign/ (the "
                  "campaign worker pool owns fork/exec hygiene)"))
+
+        if (not trace_exempt and TRACE_CALL.search(code)
+                and not allowed("trace-discipline", raw, prev)):
+            findings.append(
+                (rel, i, "trace-discipline",
+                 "trace emission outside src/obs/ must go through the "
+                 "WMSN_TRACE macro (src/obs/packet_trace.hpp)"))
 
         if (FLOAT_EQ.search(code) and not GTEST_LINE.search(code)
                 and not allowed("float-equality", raw, prev)):

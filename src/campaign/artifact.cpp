@@ -75,7 +75,16 @@ void appendRun(std::ostream& os, const RunRecord& r) {
      << ", \"energy_d2\": " << jsonNumber(r.energyD2)
      << ",\n       \"outage_episodes\": " << r.outageEpisodes
      << ", \"mean_recovery_latency_s\": " << jsonNumber(r.meanRecoveryLatencyS)
-     << ", \"pdr_during_outage\": " << jsonNumber(r.pdrDuringOutage) << "}";
+     << ", \"pdr_during_outage\": " << jsonNumber(r.pdrDuringOutage);
+  // Trace summary only when the spec traced the run, so untraced campaign
+  // artifacts stay byte-identical to older builds.
+  if (r.traceSpans > 0)
+    os << ",\n       \"trace_spans\": " << r.traceSpans
+       << ", \"trace_readings\": " << r.traceReadings
+       << ", \"trace_reroutes\": " << r.traceReroutes
+       << ", \"trace_drop_events\": " << r.traceDropEvents
+       << ", \"trace_mean_path_hops\": " << jsonNumber(r.traceMeanPathHops);
+  os << "}";
 }
 
 struct Cell {

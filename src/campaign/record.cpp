@@ -1,5 +1,6 @@
 #include "campaign/record.hpp"
 
+#include "obs/trace_analyze.hpp"
 #include "util/json.hpp"
 #include "util/require.hpp"
 
@@ -11,8 +12,8 @@ namespace {
 // field: it contains its own RS/US/GS framing, so the decoder splits only
 // the fixed-count prefix and keeps the tail intact.
 constexpr char kSep = '\x1f';
-constexpr const char* kTag = "wmsnrec1";
-constexpr std::size_t kFixedFields = 29;  // tag..lastScalar, excl. metrics
+constexpr const char* kTag = "wmsnrec2";
+constexpr std::size_t kFixedFields = 34;  // tag..lastScalar, excl. metrics
 
 void appendField(std::string& out, const std::string& field) {
   out += kSep;
@@ -69,7 +70,18 @@ RunRecord makeRecord(const std::string& id, const std::string& cell,
   r.outageEpisodes = result.faults.outageEpisodes;
   r.meanRecoveryLatencyS = result.faults.meanRecoveryLatencyS;
   r.pdrDuringOutage = result.faults.pdrDuringOutage;
-  if (result.observations) r.metricsWire = result.observations->metrics.wire();
+  if (result.observations) {
+    r.metricsWire = result.observations->metrics.wire();
+    const auto& spans = result.observations->trace.spans;
+    if (!spans.empty()) {
+      const obs::TraceAnalysis analysis = obs::analyzeSpans(spans);
+      r.traceSpans = spans.size();
+      r.traceReadings = analysis.readings;
+      r.traceReroutes = analysis.reroutes;
+      r.traceDropEvents = analysis.dropEvents;
+      r.traceMeanPathHops = analysis.meanPathHops;
+    }
+  }
   return r;
 }
 
@@ -115,6 +127,11 @@ std::string encodeRecord(const RunRecord& record) {
   appendField(out, std::to_string(record.outageEpisodes));
   appendField(out, wireDouble(record.meanRecoveryLatencyS));
   appendField(out, wireDouble(record.pdrDuringOutage));
+  appendField(out, std::to_string(record.traceSpans));
+  appendField(out, std::to_string(record.traceReadings));
+  appendField(out, std::to_string(record.traceReroutes));
+  appendField(out, std::to_string(record.traceDropEvents));
+  appendField(out, wireDouble(record.traceMeanPathHops));
   appendField(out, std::to_string(record.metricsWire.size()));
   out += kSep;
   out += record.metricsWire;
@@ -174,6 +191,11 @@ RunRecord decodeRecord(const std::string& line) {
   r.outageEpisodes = parseU64(fields[f++]);
   r.meanRecoveryLatencyS = parseWireDouble(fields[f++]);
   r.pdrDuringOutage = parseWireDouble(fields[f++]);
+  r.traceSpans = parseU64(fields[f++]);
+  r.traceReadings = parseU64(fields[f++]);
+  r.traceReroutes = parseU64(fields[f++]);
+  r.traceDropEvents = parseU64(fields[f++]);
+  r.traceMeanPathHops = parseWireDouble(fields[f++]);
   const std::uint64_t wireLen = parseU64(fields[f++]);
   WMSN_REQUIRE_MSG(tail.size() == wireLen,
                    "run record metrics blob length mismatch");

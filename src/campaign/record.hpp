@@ -53,6 +53,15 @@ struct RunRecord {
   double meanRecoveryLatencyS = 0.0;
   double pdrDuringOutage = 1.0;
 
+  // Causal-trace summary (zero unless the spec enabled `trace = on`):
+  // analyzer aggregates over the run's retained spans, journaled so a
+  // resumed campaign reports them without re-running.
+  std::uint64_t traceSpans = 0;
+  std::uint64_t traceReadings = 0;
+  std::uint64_t traceReroutes = 0;
+  std::uint64_t traceDropEvents = 0;
+  double traceMeanPathHops = 0.0;
+
   /// obs::MetricsRegistry::wire() of the run's registry; empty when the
   /// spec did not enable metrics.
   std::string metricsWire;

@@ -12,6 +12,7 @@
 #include "campaign/artifact.hpp"
 #include "campaign/journal.hpp"
 #include "core/experiment.hpp"
+#include "obs/packet_trace.hpp"
 #include "util/require.hpp"
 
 namespace wmsn::campaign {
@@ -20,12 +21,27 @@ const char* const kCrashRunEnv = "WMSN_CAMPAIGN_CRASH_RUN";
 
 namespace {
 
+/// Run IDs contain '/' (cell/seed) — flatten for use as a file name.
+std::string flattenId(const std::string& id) {
+  std::string out = id;
+  for (char& c : out)
+    if (c == '/') c = '_';
+  return out;
+}
+
 /// Executes one planned run inside a forked worker and encodes the outcome.
 /// In-run exceptions become failed records (still a normal payload); only a
 /// real crash leaves the parent to synthesize the record from pipe EOF.
-std::string executeRun(const PlannedRun& run) {
+std::string executeRun(const PlannedRun& run, const std::string& flightDir) {
+  if (!flightDir.empty())
+    obs::setFlightRecorderPath(flightDir + "/flight-" + flattenId(run.id) +
+                               ".jsonl");
   const char* crashId = std::getenv(kCrashRunEnv);
   if (crashId != nullptr && run.id == crashId) {
+    // _exit bypasses the fatal-signal handlers, so the post-mortem dump has
+    // to be explicit here.
+    if (!flightDir.empty())
+      obs::dumpFlightRecorder("campaign-crash-injected");
     ::_exit(86);  // simulated worker crash: no payload, parent sees EOF
   }
   RunRecord record;
@@ -82,7 +98,9 @@ CampaignOutcome runCampaign(const CampaignSpec& spec,
   std::size_t done = outcome.runsFromJournal;
   outcome.pool = runForkPool(
       pending.size(), opts.workers,
-      [&](std::size_t jobIndex) { return executeRun(plan[pending[jobIndex]]); },
+      [&](std::size_t jobIndex) {
+        return executeRun(plan[pending[jobIndex]], opts.flightRecorderDir);
+      },
       [&](std::size_t jobIndex, bool crashed, const std::string& payload,
           unsigned /*worker*/) {
         const PlannedRun& run = plan[pending[jobIndex]];

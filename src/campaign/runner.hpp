@@ -21,6 +21,10 @@ struct CampaignOptions {
   /// 0 = run to completion.
   std::size_t stopAfter = 0;
   bool quiet = false;
+  /// When non-empty, every worker arms the crash flight recorder: a run
+  /// that dies (invariant failure, fatal signal, injected crash) dumps the
+  /// last in-memory spans to "<dir>/flight-<runId>.jsonl" post-mortem.
+  std::string flightRecorderDir;
 };
 
 struct CampaignOutcome {

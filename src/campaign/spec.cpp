@@ -198,6 +198,35 @@ void applySetting(core::ScenarioConfig& cfg, const std::string& key,
       cfg.spr.retryBackoff = sim::Time::seconds(0.2);
   } else if (key == "metrics") {
     cfg.obs.metrics = parseSwitch(key, value);
+  } else if (key == "trace") {
+    cfg.obs.traceSpans = parseSwitch(key, value);
+  } else if (key == "trace-sample") {
+    const double f = parseDouble(key, value);
+    WMSN_REQUIRE_MSG(f > 0.0 && f <= 1.0,
+                     "campaign key 'trace-sample': fraction must be in (0,1]");
+    cfg.obs.traceSamplePermille =
+        static_cast<std::uint32_t>(f * 1000.0 + 0.5);
+  } else if (key == "attack") {
+    if (value == "none") cfg.attack.kind = attacks::AttackKind::kNone;
+    else if (value == "replay") cfg.attack.kind = attacks::AttackKind::kReplay;
+    else if (value == "spoof")
+      cfg.attack.kind = attacks::AttackKind::kSpoofMove;
+    else if (value == "selective")
+      cfg.attack.kind = attacks::AttackKind::kSelectiveForward;
+    else if (value == "sinkhole")
+      cfg.attack.kind = attacks::AttackKind::kSinkhole;
+    else if (value == "hello-flood")
+      cfg.attack.kind = attacks::AttackKind::kHelloFlood;
+    else if (value == "sybil") cfg.attack.kind = attacks::AttackKind::kSybil;
+    else if (value == "wormhole")
+      cfg.attack.kind = attacks::AttackKind::kWormhole;
+    else if (value == "ack-spoof")
+      cfg.attack.kind = attacks::AttackKind::kAckSpoof;
+    else
+      throw PreconditionError("campaign key 'attack': unknown kind '" + value +
+                              "'");
+  } else if (key == "attackers") {
+    cfg.attackerCount = parseUint(key, value);
   } else if (key == "fault") {
     applyFault(cfg, value);
   } else {

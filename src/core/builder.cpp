@@ -121,6 +121,11 @@ std::unique_ptr<Scenario> assemble(const ScenarioConfig& config,
   netParams.queue = cfg.macQueue;
   netParams.gatewaysBatteryLimited = cfg.gatewaysBatteryLimited;
   netParams.seed = cfg.seed ^ 0x5eed;
+  netParams.trace.retainSpans = cfg.obs.traceSpans;
+  netParams.trace.samplePermille = cfg.obs.traceSamplePermille;
+  // The trace stream is keyed by the scenario seed so merged multi-run
+  // exports (repeat mode, campaigns) stay distinguishable per run.
+  netParams.trace.streamId = cfg.seed;
   // On an ideal contention-free channel forwarding jitter serves no purpose
   // and would only perturb the floods' BFS ordering.
   if (cfg.mac == net::MacKind::kIdeal && !cfg.medium.collisions)

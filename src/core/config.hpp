@@ -76,8 +76,18 @@ struct ObsOptions {
   /// route maintenance). Diagnostic only — its numbers are not
   /// deterministic, unlike everything else a run emits.
   bool profile = false;
+  /// Causal packet tracing: retain per-reading lifecycle spans (originate,
+  /// enqueue, MAC, per-hop forward/recv, drops with reason, reroutes, first
+  /// delivery) for Chrome-trace JSONL export and route diagnosis. Spans are
+  /// emitted from simulation state only — no RNG draws, no wall clock — so
+  /// enabling tracing never perturbs a run's results.
+  bool traceSpans = false;
+  /// Deterministic head sampling for retained spans: a reading is kept when
+  /// hash(uid) % 1000 < traceSamplePermille. Network-scope events (uid 0)
+  /// are always kept. 1000 = trace everything.
+  std::uint32_t traceSamplePermille = 1000;
 
-  bool any() const { return metrics || timeseries || profile; }
+  bool any() const { return metrics || timeseries || profile || traceSpans; }
 };
 
 /// Everything needed to build and run one simulated scenario. Every field

@@ -338,6 +338,8 @@ RunResult Experiment::collect(std::uint32_t roundsCompleted) {
   r.eventsProcessed = s.simulator.eventsProcessed();
 
   if (observations_) {
+    if (s.config.obs.traceSpans)
+      observations_->trace = s.network->tracer()->log();
     if (s.config.obs.metrics) {
       fillRegistry(s, r, observations_->metrics);
       // Fault metrics only appear when a plan was active, so fault-free

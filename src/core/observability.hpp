@@ -4,6 +4,7 @@
 
 #include "core/builder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/packet_trace.hpp"
 #include "obs/profiler.hpp"
 #include "obs/timeseries.hpp"
 
@@ -19,6 +20,8 @@ struct RunObservations {
   obs::TimeSeriesRecorder timeseries{0};
   obs::Profiler profiler;
   bool profiled = false;
+  /// Retained packet spans (only when ScenarioConfig::obs.traceSpans).
+  obs::PacketTraceLog trace;
 };
 
 /// Incremental round sampler: remembers the previous round boundary's

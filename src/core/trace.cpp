@@ -32,7 +32,9 @@ void TraceLogger::attach(Scenario& scenario) {
         e.origin = packet.origin;
         e.uid = packet.uid;
         e.bytes = packet.sizeBytes();
-        sink->onEvent(e);
+        // The frame-trace sink mux is the one sanctioned direct feed — it
+        // IS the sink layer, not a hot-path caller.
+        sink->onEvent(e);  // wmsn-lint: allow(trace-discipline)
       });
   attachedTo_ = network;
 }

@@ -18,14 +18,15 @@ std::string toString(QueuePolicy policy) {
 
 CsmaMac::CsmaMac(Medium& medium, sim::Simulator& simulator, NodeId self,
                  Rng rng, CsmaParams params, QueueParams queue,
-                 TrafficStats* stats)
+                 TrafficStats* stats, obs::PacketTracer* tracer)
     : medium_(medium),
       simulator_(simulator),
       self_(self),
       rng_(rng),
       params_(params),
       queue_(queue),
-      stats_(stats) {}
+      stats_(stats),
+      tracer_(tracer) {}
 
 void CsmaMac::send(Packet packet) {
   if (queue_.capacity == 0) {
@@ -42,6 +43,15 @@ void CsmaMac::send(Packet packet) {
   if (waiting_.size() >= queue_.capacity) {
     ++queueDrops_;
     if (stats_) stats_->onQueueDrop(self_);
+    // The victim is the newcomer under drop-tail, the stalest waiting frame
+    // under drop-oldest.
+    const Packet& victim =
+        queue_.policy == QueuePolicy::kDropTail ? packet : waiting_.front();
+    if (victim.kind == PacketKind::kData)
+      WMSN_TRACE(tracer_, obs::TraceSpanKind::kDrop, simulator_.now().us,
+                 victim.uid, self_, victim.hopDst,
+                 obs::TraceDropReason::kQueueOverflow, victim.hops,
+                 static_cast<std::uint32_t>(victim.sizeBytes()));
     if (queue_.policy == QueuePolicy::kDropTail) return;
     // Drop-oldest: the stalest waiting frame makes room for the newcomer
     // (sensing data ages fast; fresh readings matter more).
@@ -86,9 +96,18 @@ void CsmaMac::attempt(Packet packet, std::uint32_t tries) {
   if (tries + 1 >= params_.maxAttempts) {
     ++drops_;
     if (stats_) stats_->onMacDrop();
+    if (packet.kind == PacketKind::kData)
+      WMSN_TRACE(tracer_, obs::TraceSpanKind::kDrop, simulator_.now().us,
+                 packet.uid, self_, packet.hopDst,
+                 obs::TraceDropReason::kMacExhausted, tries + 1,
+                 static_cast<std::uint32_t>(packet.sizeBytes()));
     if (queue_.capacity > 0) serveNext();
     return;
   }
+  if (packet.kind == PacketKind::kData)
+    WMSN_TRACE(tracer_, obs::TraceSpanKind::kMacBackoff, simulator_.now().us,
+               packet.uid, self_, packet.hopDst, obs::TraceDropReason::kNone,
+               tries + 1, static_cast<std::uint32_t>(packet.sizeBytes()));
   const std::uint32_t be = std::min(params_.minBackoffExponent + tries,
                                     params_.maxBackoffExponent);
   const std::int64_t slots = rng_.uniformInt(1, (1 << be) - 1);

@@ -8,6 +8,7 @@
 #include "net/medium.hpp"
 #include "net/metrics.hpp"
 #include "net/packet.hpp"
+#include "obs/packet_trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/random.hpp"
 
@@ -81,7 +82,7 @@ class CsmaMac final : public Mac {
  public:
   CsmaMac(Medium& medium, sim::Simulator& simulator, NodeId self, Rng rng,
           CsmaParams params = {}, QueueParams queue = {},
-          TrafficStats* stats = nullptr);
+          TrafficStats* stats = nullptr, obs::PacketTracer* tracer = nullptr);
 
   void send(Packet packet) override;
   std::uint64_t drops() const override { return drops_; }
@@ -102,6 +103,7 @@ class CsmaMac final : public Mac {
   CsmaParams params_;
   QueueParams queue_;
   TrafficStats* stats_;
+  obs::PacketTracer* tracer_;
 
   std::deque<Packet> waiting_;
   bool busy_ = false;

@@ -85,6 +85,10 @@ void Medium::transmitAttempt(NodeId from, Packet packet,
   host_.noteTransmit(packet.kind, packet.sizeBytes());
   // Fixed transmit power sized to the nominal range (§5.2: identical power).
   host_.chargeTx(from, energy_.txCost(bits, radio_.nominalRange()));
+  if (packet.kind == PacketKind::kData)
+    WMSN_TRACE(tracer_, obs::TraceSpanKind::kMacTx, now.us, packet.uid, from,
+               packet.hopDst, obs::TraceDropReason::kNone, retriesLeft,
+               static_cast<std::uint32_t>(packet.sizeBytes()));
 
   activeTx_.push_back(ActiveTx{from, srcPos, now, end});
 
@@ -155,7 +159,19 @@ void Medium::transmitAttempt(NodeId from, Packet packet,
         });
         return;
       }
-      if (!decoded) return;
+      if (!decoded) {
+        // Terminal link-layer loss at the addressed receiver (ARQ budget —
+        // if any — is spent): attribute the hop's fate for the analyzer.
+        if (isArqTarget && packet.kind == PacketKind::kData)
+          WMSN_TRACE(tracer_, obs::TraceSpanKind::kDrop,
+                     simulator_.now().us, packet.uid, rxId, from,
+                     reception->corrupted
+                         ? obs::TraceDropReason::kCollision
+                         : obs::TraceDropReason::kLinkLoss,
+                     packet.hops,
+                     static_cast<std::uint32_t>(packet.sizeBytes()));
+        return;
+      }
 
       if (isArqTarget && params_.unicastArq) {
         // Successful unicast: account the immediate-ACK exchange (the ACK

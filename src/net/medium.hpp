@@ -10,6 +10,7 @@
 #include "net/energy.hpp"
 #include "net/packet.hpp"
 #include "net/radio.hpp"
+#include "obs/packet_trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/random.hpp"
 
@@ -92,6 +93,10 @@ class Medium {
 
   sim::Time airTime(const Packet& packet) const;
 
+  /// Causal trace pipeline hookup (SensorNetwork wires its tracer in right
+  /// after construction). nullptr disables medium-level span emission.
+  void setTracer(obs::PacketTracer* tracer) { tracer_ = tracer; }
+
   std::uint64_t framesTransmitted() const { return framesTransmitted_; }
   std::uint64_t framesCorrupted() const { return framesCorrupted_; }
   std::uint64_t arqRetransmissions() const { return arqRetransmissions_; }
@@ -125,6 +130,7 @@ class Medium {
   MediumHost& host_;
   MediumParams params_;
   Rng rng_;
+  obs::PacketTracer* tracer_ = nullptr;
 
   std::vector<ActiveTx> activeTx_;
   std::vector<std::shared_ptr<Reception>> ongoingRx_;

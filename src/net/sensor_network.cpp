@@ -12,10 +12,12 @@ SensorNetwork::SensorNetwork(sim::Simulator& simulator,
     : simulator_(simulator),
       radio_(std::move(radio)),
       params_(params),
-      rng_(params.seed) {
+      rng_(params.seed),
+      tracer_(params.trace) {
   WMSN_REQUIRE(radio_ != nullptr);
   medium_ = std::make_unique<Medium>(simulator_, *radio_, params_.energy,
                                      *this, params_.medium, rng_.fork());
+  medium_->setTracer(&tracer_);
 }
 
 NodeId SensorNetwork::addNode(NodeKind kind, Point position) {
@@ -32,7 +34,8 @@ NodeId SensorNetwork::addNode(NodeKind kind, Point position) {
     case MacKind::kCsma:
       node->setMac(std::make_unique<CsmaMac>(*medium_, simulator_, id,
                                              rng_.fork(), params_.csma,
-                                             params_.queue, &stats_));
+                                             params_.queue, &stats_,
+                                             &tracer_));
       break;
   }
   nodes_.push_back(std::move(node));
@@ -115,6 +118,13 @@ void SensorNetwork::sendFrom(NodeId id, Packet packet) {
   if (!sender.alive()) return;
   packet.hopSrc = id;
   if (packet.uid == 0) packet.uid = nextPacketUid();
+  if (packet.kind == PacketKind::kData)
+    WMSN_TRACE(&tracer_,
+               packet.origin == id ? obs::TraceSpanKind::kEnqueue
+                                   : obs::TraceSpanKind::kForward,
+               simulator_.now().us, packet.uid, id, packet.hopDst,
+               obs::TraceDropReason::kNone, packet.hops,
+               static_cast<std::uint32_t>(packet.sizeBytes()));
   if (!frameObservers_.empty())
     frameObservers_.notify(packet, id, /*transmit=*/true);
   sender.mac().send(std::move(packet));
@@ -160,6 +170,13 @@ void SensorNetwork::handleDeath(NodeId id) {
 
 void SensorNetwork::deliverFrame(NodeId to, const Packet& packet,
                                  NodeId from) {
+  // One kRecv per decoded hop at the addressed receiver — the per-hop path
+  // the trace analyzer reconstructs. Promiscuous/broadcast copies are not
+  // path hops and stay untraced.
+  if (packet.kind == PacketKind::kData && packet.hopDst == to)
+    WMSN_TRACE(&tracer_, obs::TraceSpanKind::kRecv, simulator_.now().us,
+               packet.uid, to, from, obs::TraceDropReason::kNone, packet.hops,
+               static_cast<std::uint32_t>(packet.sizeBytes()));
   if (!frameObservers_.empty())
     frameObservers_.notify(packet, to, /*transmit=*/false);
   node(to).receive(packet, from);

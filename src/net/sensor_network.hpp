@@ -9,6 +9,7 @@
 #include "net/node.hpp"
 #include "net/radio.hpp"
 #include "obs/mux.hpp"
+#include "obs/packet_trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace wmsn::net {
@@ -29,6 +30,10 @@ struct SensorNetworkParams {
   sim::Time floodJitter = sim::Time::milliseconds(30);
   bool gatewaysBatteryLimited = false;  ///< §4.1: forest-monitoring variant
   std::uint64_t seed = 1;
+  /// Causal trace pipeline (obs/packet_trace.hpp). The tracer itself is
+  /// always constructed — the flight-recorder ring is always-on — but spans
+  /// are only retained for export when retainSpans is set.
+  obs::PacketTraceOptions trace;
 };
 
 /// One low-tier wireless sensor network: the node population, the shared
@@ -87,6 +92,11 @@ class SensorNetwork final : public MediumHost {
   std::uint64_t nextPacketUid() { return ++uidCounter_; }
   sim::Time floodJitter() const { return params_.floodJitter; }
 
+  /// The causal trace pipeline: every packet-lifecycle hot point emits here
+  /// via WMSN_TRACE. Never null — the flight-recorder ring is always-on;
+  /// retention/sampling is governed by SensorNetworkParams::trace.
+  obs::PacketTracer* tracer() { return &tracer_; }
+
   /// Per-frame observers for tracing: invoked with transmit=true when a
   /// node hands a frame to its MAC, and transmit=false when a frame is
   /// delivered to a node's protocol. Any number of named consumers (trace
@@ -142,6 +152,7 @@ class SensorNetwork final : public MediumHost {
   std::vector<NodeId> sensorIds_;
   std::vector<NodeId> gatewayIds_;
   TrafficStats stats_;
+  obs::PacketTracer tracer_;
   std::uint64_t uidCounter_ = 0;
   FrameObserverMux frameObservers_;
 };

@@ -1,0 +1,220 @@
+#include "obs/packet_trace.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+
+#include "util/require.hpp"
+
+namespace wmsn::obs {
+
+const char* toString(TraceSpanKind kind) {
+  switch (kind) {
+    case TraceSpanKind::kOriginate: return "originate";
+    case TraceSpanKind::kEnqueue: return "enqueue";
+    case TraceSpanKind::kForward: return "forward";
+    case TraceSpanKind::kMacBackoff: return "mac-backoff";
+    case TraceSpanKind::kMacTx: return "mac-tx";
+    case TraceSpanKind::kRecv: return "recv";
+    case TraceSpanKind::kDeliver: return "deliver";
+    case TraceSpanKind::kDrop: return "drop";
+    case TraceSpanKind::kReroute: return "reroute";
+    case TraceSpanKind::kDefer: return "defer";
+    case TraceSpanKind::kGatewayEvict: return "gateway-evict";
+    case TraceSpanKind::kReject: return "reject";
+  }
+  return "unknown";
+}
+
+const char* toString(TraceDropReason reason) {
+  switch (reason) {
+    case TraceDropReason::kNone: return "none";
+    case TraceDropReason::kQueueOverflow: return "queue-overflow";
+    case TraceDropReason::kMacExhausted: return "mac-exhausted";
+    case TraceDropReason::kCollision: return "collision";
+    case TraceDropReason::kLinkLoss: return "link-loss";
+    case TraceDropReason::kNoRoute: return "no-route";
+    case TraceDropReason::kStaleRoute: return "stale-route";
+    case TraceDropReason::kAckExhausted: return "ack-exhausted";
+    case TraceDropReason::kAuthMac: return "auth-mac";
+    case TraceDropReason::kReplay: return "replay";
+    case TraceDropReason::kTesla: return "tesla";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// splitmix64 — a fast, well-mixed 64-bit finaliser. Sampling must depend on
+// every uid bit: uids are sequential, so `uid % N` would sample a periodic
+// (and protocol-phase-correlated) subset instead of a uniform one.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void appendSpanJsonl(std::string& out, const PacketSpan& span,
+                     std::uint64_t pid) {
+  const bool reading = span.uid != 0;
+  out += "{\"name\":\"";
+  out += toString(span.kind);
+  out += reading ? "\",\"cat\":\"reading\",\"ph\":\""
+                 : "\",\"cat\":\"net\",\"ph\":\"";
+  if (!reading) {
+    out += "i\",\"s\":\"p";
+  } else if (span.kind == TraceSpanKind::kOriginate) {
+    out += 'b';
+  } else if (span.kind == TraceSpanKind::kDeliver) {
+    out += 'e';
+  } else {
+    out += 'n';
+  }
+  out += "\",\"ts\":";
+  out += std::to_string(span.timeUs);
+  out += ",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(span.node);
+  if (reading) {
+    out += ",\"id\":";
+    out += std::to_string(span.uid);
+  }
+  out += ",\"args\":{";
+  bool first = true;
+  auto field = [&](const char* key, const std::string& value) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += key;
+    out += "\":";
+    out += value;
+  };
+  if (span.peer != kTraceNoPeer) field("peer", std::to_string(span.peer));
+  field("info", std::to_string(span.info));
+  field("bytes", std::to_string(span.bytes));
+  if (span.reason != TraceDropReason::kNone)
+    field("reason", '"' + std::string(toString(span.reason)) + '"');
+  out += "}}\n";
+}
+
+// The armed dump path lives in a fixed buffer (no allocation, no lock) so
+// the fatal-signal handler can read it without touching the heap.
+char gDumpPath[512] = {0};
+std::atomic<bool> gArmed{false};
+
+void dumpAndReraise(int sig) {
+  dumpFlightRecorder(std::string("fatal signal ") + std::to_string(sig));
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void invariantDump() { dumpFlightRecorder("invariant failure"); }
+
+void armSignalHandlers() {
+  std::signal(SIGSEGV, dumpAndReraise);
+  std::signal(SIGABRT, dumpAndReraise);
+  std::signal(SIGBUS, dumpAndReraise);
+  std::signal(SIGFPE, dumpAndReraise);
+  std::signal(SIGILL, dumpAndReraise);
+}
+
+void disarmSignalHandlers() {
+  std::signal(SIGSEGV, SIG_DFL);
+  std::signal(SIGABRT, SIG_DFL);
+  std::signal(SIGBUS, SIG_DFL);
+  std::signal(SIGFPE, SIG_DFL);
+  std::signal(SIGILL, SIG_DFL);
+}
+
+}  // namespace
+
+bool traceSampled(std::uint64_t uid, std::uint32_t permille) {
+  if (uid == 0 || permille >= 1000) return true;
+  if (permille == 0) return false;
+  return mix64(uid) % 1000 < permille;
+}
+
+std::string PacketTraceLog::jsonl() const {
+  std::string out;
+  out.reserve(spans.size() * 96);
+  for (const PacketSpan& span : spans) appendSpanJsonl(out, span, streamId);
+  return out;
+}
+
+void PacketTraceLog::writeFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  WMSN_REQUIRE_MSG(file.good(), "cannot open trace output file " + path);
+  file << jsonl();
+}
+
+PacketTracer::PacketTracer(PacketTraceOptions options) : options_(options) {
+  log_.enabled = options_.retainSpans;
+  log_.streamId = options_.streamId;
+  log_.samplePermille = options_.samplePermille;
+}
+
+void PacketTracer::emitSpan(TraceSpanKind kind, std::int64_t timeUs,
+                            std::uint64_t uid, std::uint32_t node,
+                            std::uint32_t peer, TraceDropReason reason,
+                            std::uint32_t info, std::uint32_t bytes) {
+  const PacketSpan span{timeUs, uid, node, peer, info, bytes, kind, reason};
+  FlightRecorder::current().push(span);
+  if (options_.retainSpans && traceSampled(uid, options_.samplePermille))
+    log_.spans.push_back(span);
+}
+
+FlightRecorder& FlightRecorder::current() {
+  thread_local FlightRecorder recorder;
+  return recorder;
+}
+
+std::vector<PacketSpan> FlightRecorder::snapshot() const {
+  std::vector<PacketSpan> out;
+  out.reserve(size_);
+  const std::size_t start = (head_ + kCapacity - size_) % kCapacity;
+  for (std::size_t i = 0; i < size_; ++i)
+    out.push_back(ring_[(start + i) % kCapacity]);
+  return out;
+}
+
+std::string FlightRecorder::dump(const std::string& reason) const {
+  std::string out = "{\"name\":\"flight-recorder\",\"ph\":\"M\",\"pid\":0,"
+                    "\"args\":{\"reason\":\"" + reason + "\",\"spans\":" +
+                    std::to_string(size_) + "}}\n";
+  for (const PacketSpan& span : snapshot()) appendSpanJsonl(out, span, 0);
+  return out;
+}
+
+void setFlightRecorderPath(const std::string& path) {
+  if (path.empty()) {
+    gArmed.store(false, std::memory_order_release);
+    detail::invariantDumpHook = nullptr;
+    disarmSignalHandlers();
+    return;
+  }
+  WMSN_REQUIRE_MSG(path.size() < sizeof(gDumpPath),
+                   "flight-recorder path too long");
+  std::memset(gDumpPath, 0, sizeof(gDumpPath));
+  std::memcpy(gDumpPath, path.data(), path.size());
+  gArmed.store(true, std::memory_order_release);
+  detail::invariantDumpHook = invariantDump;
+  armSignalHandlers();
+}
+
+std::string flightRecorderPath() {
+  if (!gArmed.load(std::memory_order_acquire)) return "";
+  return gDumpPath;
+}
+
+bool dumpFlightRecorder(const std::string& reason) {
+  if (!gArmed.load(std::memory_order_acquire)) return false;
+  std::ofstream file(gDumpPath, std::ios::binary);
+  if (!file.good()) return false;
+  file << FlightRecorder::current().dump(reason);
+  return true;
+}
+
+}  // namespace wmsn::obs

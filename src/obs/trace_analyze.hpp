@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/packet_trace.hpp"
+
+namespace wmsn::obs {
+
+/// One reading's reconstructed fate: the delivery path (origin followed by
+/// every node that decoded a hop), reroute history, and drop attribution.
+struct ReadingTrace {
+  std::uint64_t uid = 0;
+  std::uint32_t origin = kTraceNoPeer;
+  bool delivered = false;
+  std::int64_t originateUs = -1;
+  std::int64_t deliverUs = -1;
+  std::uint32_t deliverHops = 0;  ///< hop count the gateway reported
+  std::vector<std::uint32_t> path;  ///< origin, then each receiving node
+  std::uint32_t reroutes = 0;
+  std::uint32_t deferrals = 0;
+  std::vector<TraceDropReason> drops;
+
+  /// Reroute-latency breakdown, meaningful when reroutes > 0: detection is
+  /// last pre-reroute transmission → first reroute decision (how long the
+  /// failure went unnoticed); recovery is first reroute → delivery (how
+  /// long re-convergence took). Negative when the leg never happened.
+  double detectionMs = -1.0;
+  double recoveryMs = -1.0;
+};
+
+/// Aggregate route-diagnosis statistics over one span stream.
+struct TraceAnalysis {
+  std::uint64_t readings = 0;      ///< traced readings (sampled population)
+  std::uint64_t delivered = 0;
+  std::uint64_t dropEvents = 0;
+  std::uint64_t reroutes = 0;
+  std::uint64_t routeFlaps = 0;    ///< readings rerouted at least once
+  std::uint64_t deferrals = 0;
+  std::uint64_t gatewayEvictions = 0;
+  std::uint64_t rejections = 0;    ///< SecMLR refusals
+  std::map<std::string, std::uint64_t> dropsByReason;
+  std::map<std::string, std::uint64_t> rejectsByReason;
+  std::vector<double> detectionMs;  ///< per flapped reading, uid order
+  std::vector<double> recoveryMs;   ///< per flapped delivered reading
+  std::vector<ReadingTrace> perReading;  ///< uid order
+
+  double meanPathHops = 0.0;  ///< mean deliverHops over delivered readings
+  double deliveredRatio() const {
+    return readings == 0 ? 0.0
+                         : static_cast<double>(delivered) /
+                               static_cast<double>(readings);
+  }
+};
+
+/// Reconstructs per-reading paths and route diagnostics from a span stream
+/// (retained PacketTraceLog spans or parsed JSONL). Deterministic: output
+/// depends only on span content, not arrival interleaving — readings are
+/// keyed and reported in uid order.
+TraceAnalysis analyzeSpans(const std::vector<PacketSpan>& spans);
+
+/// Parses the Chrome-trace-event JSONL that PacketTraceLog::jsonl (and the
+/// flight recorder) emit, back into spans. Tolerates the flight recorder's
+/// metadata header line and blank lines; throws PreconditionError on a line
+/// it cannot map back to a span.
+std::vector<PacketSpan> parseTraceJsonl(const std::string& text);
+
+/// Exports the analysis as the `wmsn_trace_*` metric family.
+void fillTraceMetrics(const TraceAnalysis& analysis, MetricsRegistry& registry,
+                      const Labels& labels = {});
+
+/// Human-readable route-diagnosis summary (wmsn_cli --trace-analyze).
+std::string analysisReport(const TraceAnalysis& analysis);
+
+}  // namespace wmsn::obs

@@ -52,10 +52,14 @@ void MlrRouting::evictStaleGateways(std::uint32_t round) {
     const std::uint32_t last =
         heard == lastHeardRound_.end() ? 0 : heard->second;
     if (gw != self() && last + params_.staleAfterRounds < round) {
-      auto occ = occupiedBy_.find(it->second);
+      const std::uint16_t place = it->second;
+      auto occ = occupiedBy_.find(place);
       if (occ != occupiedBy_.end() && occ->second == gw)
         occupiedBy_.erase(occ);
       it = placeOfGw_.erase(it);
+      WMSN_TRACE(network().tracer(), obs::TraceSpanKind::kGatewayEvict,
+                 now().us, 0, static_cast<std::uint32_t>(self()), gw,
+                 obs::TraceDropReason::kNone, place);
       onGatewayPresumedDown(gw);
     } else {
       ++it;
@@ -267,8 +271,16 @@ void MlrRouting::originate(Bytes appPayload) {
     // Failover: park the reading (bounded) and flush it when some gateway
     // becomes routable again. It keeps its uid, so a late delivery still
     // counts in PDR; overflow and never-flushed readings stay undelivered.
-    if (params_.failover && deferred_.size() < params_.deferredCapacity)
+    if (params_.failover && deferred_.size() < params_.deferredCapacity) {
       deferred_.push_back(Deferred{uid, ++seq_, std::move(appPayload)});
+      WMSN_TRACE(network().tracer(), obs::TraceSpanKind::kDefer, now().us,
+                 uid, static_cast<std::uint32_t>(self()), obs::kTraceNoPeer,
+                 obs::TraceDropReason::kNoRoute);
+    } else {
+      WMSN_TRACE(network().tracer(), obs::TraceSpanKind::kDrop, now().us,
+                 uid, static_cast<std::uint32_t>(self()), obs::kTraceNoPeer,
+                 obs::TraceDropReason::kNoRoute);
+    }
     return;  // no reachable gateway known — counted as undelivered
   }
 
@@ -319,7 +331,13 @@ void MlrRouting::forwardData(net::Packet packet, const DataMsg& msg) {
     // Delegated reading from a sleeping cell member (§4.4): adopt it as if
     // it were our own traffic, keeping the original source.
     const auto place = selectedPlace();
-    if (!place) return;
+    if (!place) {
+      WMSN_TRACE(network().tracer(), obs::TraceSpanKind::kDrop, now().us,
+                 packet.uid, static_cast<std::uint32_t>(self()),
+                 obs::kTraceNoPeer, obs::TraceDropReason::kNoRoute,
+                 packet.hops);
+      return;
+    }
     DataMsg adopted = msg;
     adopted.gateway = occupiedBy_.at(*place);
     adopted.place = *place;
@@ -346,9 +364,25 @@ void MlrRouting::forwardData(net::Packet packet, const DataMsg& msg) {
   if (!routable) {
     // Stale route upstream. Legacy behaviour drops; failover re-homes the
     // packet to the best place this node knows (hop cap bounds loops).
-    if (!params_.failover || packet.hops >= 32) return;
+    if (!params_.failover || packet.hops >= 32) {
+      WMSN_TRACE(network().tracer(), obs::TraceSpanKind::kDrop, now().us,
+                 packet.uid, static_cast<std::uint32_t>(self()),
+                 obs::kTraceNoPeer, obs::TraceDropReason::kStaleRoute,
+                 packet.hops);
+      return;
+    }
     const auto place = selectedPlace();
-    if (!place || *place == msg.place) return;
+    if (!place || *place == msg.place) {
+      WMSN_TRACE(network().tracer(), obs::TraceSpanKind::kDrop, now().us,
+                 packet.uid, static_cast<std::uint32_t>(self()),
+                 obs::kTraceNoPeer, obs::TraceDropReason::kNoRoute,
+                 packet.hops);
+      return;
+    }
+    WMSN_TRACE(network().tracer(), obs::TraceSpanKind::kReroute, now().us,
+               packet.uid, static_cast<std::uint32_t>(self()),
+               occupiedBy_.at(*place), obs::TraceDropReason::kStaleRoute,
+               *place);
     DataMsg rehomed = msg;
     rehomed.gateway = occupiedBy_.at(*place);
     rehomed.place = *place;
@@ -409,16 +443,39 @@ void MlrRouting::transmitPending(std::uint64_t uid) {
       invalidateVia(entry->second.nextHop);
       PendingAck lost = std::move(entry->second);
       pendingAcks_.erase(entry);
-      if (params_.failover) rerouteAfterAckLoss(std::move(lost));
+      if (params_.failover) {
+        rerouteAfterAckLoss(std::move(lost));
+      } else if (lost.packet.kind == net::PacketKind::kData) {
+        WMSN_TRACE(network().tracer(), obs::TraceSpanKind::kDrop, now().us,
+                   lost.packet.uid, static_cast<std::uint32_t>(self()),
+                   lost.nextHop, obs::TraceDropReason::kAckExhausted,
+                   lost.packet.hops);
+      }
     }
   });
 }
 
 void MlrRouting::rerouteAfterAckLoss(PendingAck pending) {
-  if (pending.reroutes >= params_.maxReroutes) return;
   if (pending.packet.kind != net::PacketKind::kData) return;
+  if (pending.reroutes >= params_.maxReroutes) {
+    WMSN_TRACE(network().tracer(), obs::TraceSpanKind::kDrop, now().us,
+               pending.packet.uid, static_cast<std::uint32_t>(self()),
+               pending.nextHop, obs::TraceDropReason::kAckExhausted,
+               pending.reroutes);
+    return;
+  }
   const auto place = selectedPlace();
-  if (!place) return;
+  if (!place) {
+    WMSN_TRACE(network().tracer(), obs::TraceSpanKind::kDrop, now().us,
+               pending.packet.uid, static_cast<std::uint32_t>(self()),
+               pending.nextHop, obs::TraceDropReason::kNoRoute,
+               pending.packet.hops);
+    return;
+  }
+  WMSN_TRACE(network().tracer(), obs::TraceSpanKind::kReroute, now().us,
+             pending.packet.uid, static_cast<std::uint32_t>(self()),
+             occupiedBy_.at(*place), obs::TraceDropReason::kAckExhausted,
+             pending.reroutes + 1);
   // Retarget at the current best place (invalidateVia just dropped every
   // entry through the dead link, so this picks a genuinely different path).
   DataMsg msg = DataMsg::decode(pending.packet.payload);

@@ -62,12 +62,21 @@ void RoutingProtocol::sendBroadcastJittered(net::Packet packet) {
 std::uint64_t RoutingProtocol::registerGenerated() {
   const std::uint64_t uid = network_.nextPacketUid();
   network_.stats().onGenerated(uid, self_, now());
+  WMSN_TRACE(network_.tracer(), obs::TraceSpanKind::kOriginate, now().us, uid,
+             self_);
   return uid;
 }
 
 void RoutingProtocol::reportDelivered(std::uint64_t uid, net::NodeId origin,
                                       std::uint32_t hops) {
-  network_.stats().onDelivered(uid, origin, self_, hops, now());
+  const bool first = network_.stats().onDelivered(uid, origin, self_, hops,
+                                                  now());
+  // Only the FIRST gateway delivery closes the reading's async trace —
+  // duplicates (multipath, retransmission races) would emit unbalanced
+  // Chrome-trace end events.
+  if (first)
+    WMSN_TRACE(network_.tracer(), obs::TraceSpanKind::kDeliver, now().us, uid,
+               self_, origin, obs::TraceDropReason::kNone, hops);
 }
 
 ProtocolStack::ProtocolStack(net::SensorNetwork& network,

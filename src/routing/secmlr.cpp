@@ -162,6 +162,9 @@ void SecMlrRouting::handleSecMove(const net::Packet& packet,
     // Unknown broadcaster (gateways relay but hold commitments too; a truly
     // unknown id is bogus).
     ++rejectedTesla_;
+    WMSN_TRACE(network().tracer(), obs::TraceSpanKind::kReject, now().us, 0,
+               static_cast<std::uint32_t>(self()), msg.gateway,
+               obs::TraceDropReason::kTesla);
     return;
   }
 
@@ -584,10 +587,16 @@ void SecMlrRouting::handleSecData(const net::Packet& packet,
     chargeCrypto(msg.macInput().size() + msg.encData.size());
     if (!crypto::verifyPacketMac(key, msg.counter, msg.macInput(), msg.mac)) {
       ++rejectedMacs_;
+      WMSN_TRACE(network().tracer(), obs::TraceSpanKind::kReject, now().us,
+                 packet.uid, static_cast<std::uint32_t>(self()),
+                 msg.source, obs::TraceDropReason::kAuthMac, packet.hops);
       return;
     }
     if (!sensorWindow_[msg.source].acceptAndAdvance(msg.counter)) {
       ++rejectedReplays_;  // replayed data dies at the gateway
+      WMSN_TRACE(network().tracer(), obs::TraceSpanKind::kReject, now().us,
+                 packet.uid, static_cast<std::uint32_t>(self()),
+                 msg.source, obs::TraceDropReason::kReplay, packet.hops);
       return;
     }
     const Bytes reading =

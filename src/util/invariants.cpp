@@ -2,6 +2,12 @@
 
 #include <algorithm>
 
+#include "util/require.hpp"
+
+namespace wmsn::detail {
+void (*invariantDumpHook)() = nullptr;
+}  // namespace wmsn::detail
+
 namespace wmsn::inv {
 
 bool enabledInBuild() {

@@ -23,6 +23,12 @@ class InvariantError : public std::logic_error {
 };
 
 namespace detail {
+/// Crash-dump hook fired just before an InvariantError is thrown. Installed
+/// by obs::setFlightRecorderPath (a function pointer keeps util/ free of an
+/// obs/ dependency); nullptr — the default — is a no-op. Defined in
+/// util/invariants.cpp.
+extern void (*invariantDumpHook)();
+
 [[noreturn]] inline void requireFailed(const char* expr, const char* file,
                                        int line, const std::string& msg) {
   throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
@@ -32,6 +38,7 @@ namespace detail {
 
 [[noreturn]] inline void invariantFailed(const char* expr, const char* file,
                                          int line, const std::string& msg) {
+  if (invariantDumpHook != nullptr) invariantDumpHook();
   throw InvariantError(std::string(file) + ":" + std::to_string(line) +
                        ": invariant violated: " + expr +
                        (msg.empty() ? "" : " — " + msg));

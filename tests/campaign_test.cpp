@@ -18,6 +18,7 @@
 #include "campaign/stats.hpp"
 #include "core/experiment.hpp"
 #include "core/sweep.hpp"
+#include "obs/trace_analyze.hpp"
 #include "util/random.hpp"
 #include "util/require.hpp"
 
@@ -209,6 +210,11 @@ TEST(CampaignRecord, WireRoundTripsLosslessly) {
   r.outageEpisodes = 2;
   r.meanRecoveryLatencyS = 20.5;
   r.pdrDuringOutage = 0.25;
+  r.traceSpans = 4242;
+  r.traceReadings = 120;
+  r.traceReroutes = 7;
+  r.traceDropEvents = 13;
+  r.traceMeanPathHops = 2.125;
   r.metricsWire = "wmsnmr1\x1e" "payload with \x1f and \x1d inside";
 
   const RunRecord back = campaign::decodeRecord(campaign::encodeRecord(r));
@@ -221,6 +227,12 @@ TEST(CampaignRecord, WireRoundTripsLosslessly) {
   EXPECT_EQ(back.energyD2, r.energyD2);  // wmsn-lint: allow(float-equality)
   EXPECT_EQ(back.generated, r.generated);
   EXPECT_EQ(back.firstDeathObserved, r.firstDeathObserved);
+  EXPECT_EQ(back.traceSpans, r.traceSpans);
+  EXPECT_EQ(back.traceReadings, r.traceReadings);
+  EXPECT_EQ(back.traceReroutes, r.traceReroutes);
+  EXPECT_EQ(back.traceDropEvents, r.traceDropEvents);
+  // wmsn-lint: allow(float-equality)
+  EXPECT_EQ(back.traceMeanPathHops, r.traceMeanPathHops);
   EXPECT_EQ(back.metricsWire, r.metricsWire);
 }
 
@@ -536,6 +548,71 @@ TEST_F(CampaignEndToEnd, StopAfterThenResumeMatchesUninterrupted) {
   EXPECT_EQ(readFile(full.outPath), readFile(interrupted.outPath));
   cleanup(full);
   cleanup(interrupted);
+}
+
+// Tracing-enabled campaign: a `trace = on` spec whose per-run trace
+// summaries land in the artifact, stay byte-identical across kill + resume,
+// and whose crash-injected worker leaves a flight-recorder dump behind.
+constexpr const char* kTracedSpec =
+    "name = traced\n"
+    "seed = 9\n"
+    "repeats = 2\n"
+    "sensors = 40\n"
+    "area = 120\n"
+    "gateways = 2\n"
+    "places = 4\n"
+    "rounds = 2\n"
+    "packets = 1\n"
+    "metrics = on\n"
+    "trace = on\n"
+    "\n"
+    "[sweep]\n"
+    "protocol = mlr, secmlr\n";
+
+TEST_F(CampaignEndToEnd, TracedArtifactSurvivesKillAndResume) {
+  const auto traced = campaign::parseSpec(kTracedSpec);
+  auto full = options("traced_full");
+  full.workers = 2;
+  const auto complete = campaign::runCampaign(traced, full);
+  EXPECT_EQ(complete.runsExecuted, 4u);
+  EXPECT_EQ(complete.runsFailed, 0u);
+  const std::string json = readFile(full.outPath);
+  EXPECT_NE(json.find("\"trace_spans\":"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_mean_path_hops\":"), std::string::npos);
+
+  auto interrupted = options("traced_cut");
+  interrupted.workers = 2;
+  interrupted.stopAfter = 2;
+  const auto stopped = campaign::runCampaign(traced, interrupted);
+  EXPECT_TRUE(stopped.stoppedEarly);
+  interrupted.stopAfter = 0;
+  interrupted.resume = true;
+  const auto resumed = campaign::runCampaign(traced, interrupted);
+  EXPECT_EQ(resumed.runsFromJournal, 2u);
+  EXPECT_EQ(json, readFile(interrupted.outPath));
+  cleanup(full);
+  cleanup(interrupted);
+}
+
+TEST_F(CampaignEndToEnd, CrashedWorkerDumpsFlightRecorder) {
+  const auto traced = campaign::parseSpec(kTracedSpec);
+  auto opts = options("traced_crash");
+  opts.workers = 2;
+  opts.flightRecorderDir = testing::TempDir();
+  const std::string dumpPath = opts.flightRecorderDir + "flight-mlr_s9.jsonl";
+  std::remove(dumpPath.c_str());
+  ::setenv(campaign::kCrashRunEnv, "mlr/s9", 1);
+  const auto outcome = campaign::runCampaign(traced, opts);
+  ::unsetenv(campaign::kCrashRunEnv);
+  EXPECT_EQ(outcome.runsFailed, 1u);
+  // The injected _exit(86) dumped the worker's flight ring post-mortem: the
+  // file parses as trace JSONL (header line skipped) and names the cause.
+  const std::string dump = readFile(dumpPath);
+  EXPECT_NE(dump.find("campaign-crash-injected"), std::string::npos);
+  EXPECT_NE(dump.find("flight-recorder"), std::string::npos);
+  (void)obs::parseTraceJsonl(dump);  // must not throw
+  std::remove(dumpPath.c_str());
+  cleanup(opts);
 }
 
 TEST_F(CampaignEndToEnd, WorkerCrashRecordsFailureAndCompletes) {
