@@ -116,6 +116,16 @@ int main(int argc, char** argv) {
                         cfg.obs.profile = true;
                         return cfg;
                       }});
+  // The WMSN_PERF sites are always compiled in; "perf-disabled" re-measures
+  // the bare configuration so the null-ledger path (one thread-local load
+  // per site) is shown to sit inside run-to-run noise, and "perf-counters"
+  // measures the armed ledger plus the allocation-counting window.
+  variants.push_back({"perf-disabled", baseConfig});
+  variants.push_back({"perf-counters", [] {
+                        auto cfg = baseConfig();
+                        cfg.obs.perf = true;
+                        return cfg;
+                      }});
 
   // Warm-up run so first-touch costs (page faults, allocator growth) do not
   // land on the bare baseline.
@@ -156,9 +166,13 @@ int main(int argc, char** argv) {
     // The obs budget the PR contract enforces in CI (min-of-reps):
     //   null-trace-sink   <= 2%  — counting frames is always affordable
     //   trace-spans-sampled <= 5% — head-sampled causal tracing stays cheap
+    //   perf-disabled     <= 2%  — un-armed WMSN_PERF sites are noise
+    //   perf-counters     <= 5%  — the armed ledger is one add per site
     const std::vector<std::pair<std::string, double>> budget = {
         {"null-trace-sink", 2.0},
         {"trace-spans-sampled", 5.0},
+        {"perf-disabled", 2.0},
+        {"perf-counters", 5.0},
     };
     bool ok = true;
     for (const auto& [name, limitPct] : budget) {

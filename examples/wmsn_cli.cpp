@@ -105,8 +105,30 @@ void usage() {
       "  --metrics-out <path>  write the end-of-run metrics registry as JSON\n"
       "  --timeseries-out <p>  write the per-round time series (CSV, or JSON\n"
       "                        for a .json path; --repeat concatenates CSV)\n"
+      "  --perf-out <path>     count deterministic hot-path work (frames,\n"
+      "                        O(n^2) pairs examined, RNG draws, ...) and\n"
+      "                        write them with resource telemetry (peak RSS,\n"
+      "                        allocations, rounds/sec) as JSON; --repeat\n"
+      "                        merges all seeds in order\n"
       "  --profile             time simulation phases, print the table\n"
       "  --list                print available protocols/attacks and exit\n";
+}
+
+/// The --perf-out document: the deterministic counter ledger twice (raw
+/// key→count object and the labelled wmsn_perf_* registry) plus the
+/// non-deterministic resource telemetry under its own key. Deterministic
+/// counters and wall-clock telemetry never mix.
+void writePerfJson(const std::string& path, const std::string& protocol,
+                   const obs::PerfStats& perf,
+                   const obs::ResourceTelemetry& telemetry) {
+  obs::MetricsRegistry registry;
+  core::fillPerfMetrics(protocol, perf, registry);
+  std::string metricsJson = registry.json();
+  while (!metricsJson.empty() && metricsJson.back() == '\n')
+    metricsJson.pop_back();
+  std::ofstream out(path, std::ios::binary);
+  out << "{\n\"counters\": " << perf.json() << ",\n\"metrics\": "
+      << metricsJson << ",\n\"telemetry\": " << telemetry.json() << "\n}\n";
 }
 
 /// CSV by default; a `.json` path selects the JSON array form instead.
@@ -133,6 +155,7 @@ int main(int argc, char** argv) {
   std::string tracePath;
   std::string metricsPath;
   std::string timeseriesPath;
+  std::string perfPath;
   std::string traceSpansPath;
   std::string traceAnalyzePath;
   obs::TraceFormat traceFormat = obs::TraceFormat::kCsv;
@@ -326,6 +349,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--timeseries-out") {
       timeseriesPath = next();
       cfg.obs.timeseries = true;
+    } else if (arg == "--perf-out") {
+      perfPath = next();
+      cfg.obs.perf = true;
     } else if (arg == "--profile") {
       cfg.obs.profile = true;
     } else if (arg == "--lifetime") {
@@ -445,6 +471,22 @@ int main(int argc, char** argv) {
         std::cout << "(" << spans << " spans for " << repeat
                   << " seeds written to " << traceSpansPath << ")\n";
       }
+      if (!perfPath.empty()) {
+        // Counter ledgers merge in seed order like every other obs output;
+        // sums are order-independent, so the file is byte-identical at any
+        // --threads value. Telemetry sums wall/work and takes the max RSS.
+        obs::PerfStats mergedPerf;
+        obs::ResourceTelemetry mergedTelemetry;
+        for (const auto& r : results) {
+          if (!r.observations || !r.observations->perfCounted) continue;
+          mergedPerf.merge(r.observations->perf);
+          mergedTelemetry.merge(r.observations->telemetry);
+        }
+        writePerfJson(perfPath, core::toString(cfg.protocol), mergedPerf,
+                      mergedTelemetry);
+        std::cout << "(perf counters for " << repeat << " seeds written to "
+                  << perfPath << ")\n";
+      }
       if (cfg.obs.profile) {
         obs::Profiler merged;
         for (const auto& r : results)
@@ -481,6 +523,11 @@ int main(int argc, char** argv) {
     if (!timeseriesPath.empty() && result.observations)
       writeTimeseries(result.observations->timeseries, timeseriesPath,
                       "seed " + std::to_string(cfg.seed));
+    if (!perfPath.empty() && result.observations) {
+      writePerfJson(perfPath, result.protocol, result.observations->perf,
+                    result.observations->telemetry);
+      std::cout << "(perf counters written to " << perfPath << ")\n";
+    }
     std::cout << core::summaryLine(result) << "\n\n";
     core::printSection(std::cout, "result",
                        core::comparisonTable({result}));

@@ -12,8 +12,12 @@
 #   wmsn-lint    scripts/wmsn_lint.py project-specific invariant checks
 #   docs         scripts/check_docs.sh CLI-flag/documentation drift
 #   campaign     scripts/check_campaign.sh kill/resume/crash-containment
+#   perf         scripts/check_perf.sh perf-counter zero-perturbation
+#                (byte-identical stdout/metrics with counters armed) and
+#                the BENCH_kernel.json 1k rounds/sec smoke
 #   obs-budget   bench_obs_overhead --check observability overhead budget
-#                (null trace sink <= 2%, sampled span tracing <= 5%)
+#                (null trace sink <= 2%, sampled span tracing <= 5%,
+#                perf counters off <= 2% / on <= 5%)
 #
 # and prints a per-gate summary table. Exit 0 iff no gate FAILed (SKIPs are
 # not failures: a gate whose tool is absent from the image is gated, not
@@ -145,7 +149,26 @@ else
   note_gate campaign SKIP "no wmsn_campaign binary (werror build failed?)"
 fi
 
-# 9. Observability overhead budget: causal tracing must not distort the
+# 9. Perf-counter discipline: arming the deterministic work-counter ledger
+#    must not perturb a single output byte, and the committed kernel-scaling
+#    baseline's 1k point must still be roughly reproducible.
+if [ -x "$cli" ]; then
+  if perf_out="$(bash "$scriptdir/check_perf.sh" "$cli" "$repo" \
+                 "$campaign_cli" 2>&1)"; then
+    if echo "$perf_out" | grep -q "SKIP"; then
+      note_gate perf PASS "zero-perturbation ok; smoke SKIPped (no baseline)"
+    else
+      note_gate perf PASS "$(echo "$perf_out" | tail -1)"
+    fi
+  else
+    echo "$perf_out"
+    note_gate perf FAIL "see above"
+  fi
+else
+  note_gate perf SKIP "no wmsn_cli binary (werror build failed?)"
+fi
+
+# 10. Observability overhead budget: causal tracing must not distort the
 #    experiments it observes. Evaluated on min-of-reps wall time, so a noisy
 #    scheduler costs retries, not false failures.
 obs_bench="$repo/build-werror/bench/bench_obs_overhead"

@@ -44,6 +44,14 @@ Enforces the repo-wide invariants that generic tooling cannot know about:
                     guard and the disabled-tracing zero-cost contract.
                     (Tests may drive sinks directly.)
 
+  perf-discipline   Hot-path work-counter increments go through the
+                    WMSN_PERF macro (src/obs/perf_stats.hpp): it
+                    null-guards the active ledger so disabled counters
+                    cost one thread-local load. A direct
+                    PerfStats::add(PerfCounter...) outside src/obs/
+                    bypasses the guard and crashes when no ledger is
+                    active. (Tests may drive ledgers directly.)
+
 Suppress a finding with an inline comment on the offending line (or the
 line directly above):   // wmsn-lint: allow(<rule-id>)
 
@@ -73,6 +81,7 @@ RULES = {
     "banned-header": "<random>/<ctime> outside src/util/random.*",
     "process-discipline": "fork/exec/system/popen outside src/campaign/",
     "trace-discipline": "direct emitSpan/onEvent outside src/obs/ (use WMSN_TRACE)",
+    "perf-discipline": "direct PerfCounter add outside src/obs/ (use WMSN_PERF)",
 }
 
 RNG_TOKENS = [
@@ -127,6 +136,15 @@ PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
 # design.
 TRACE_EXEMPT = re.compile(r"src[/\\]obs[/\\]|tests[/\\]")
 TRACE_CALL = re.compile(r"\b(emitSpan|onEvent)\s*\(")
+
+# Perf-counter increments outside the obs layer must ride the WMSN_PERF
+# macro so the null-ledger guard (and the "counters off costs one TLS
+# load" contract) is uniform. Matches add(PerfCounter::...) calls, not
+# value() reads; src/obs/ owns the primitives, tests drive ledgers
+# directly by design.
+PERF_EXEMPT = re.compile(r"src[/\\]obs[/\\]|tests[/\\]")
+PERF_CALL = re.compile(
+    r"\badd\s*\(\s*(::\s*)?(wmsn\s*::\s*)?(obs\s*::\s*)?PerfCounter\b")
 
 
 def allowed(rule, line, prev_line):
@@ -191,6 +209,7 @@ def lint_file(path, rel, findings):
     rng_exempt = bool(RNG_EXEMPT.search(rel))
     process_exempt = bool(PROCESS_EXEMPT.search(rel))
     trace_exempt = bool(TRACE_EXEMPT.search(rel))
+    perf_exempt = bool(PERF_EXEMPT.search(rel))
     is_header = rel.endswith((".hpp", ".h"))
 
     if is_header:
@@ -228,6 +247,13 @@ def lint_file(path, rel, findings):
                 (rel, i, "trace-discipline",
                  "trace emission outside src/obs/ must go through the "
                  "WMSN_TRACE macro (src/obs/packet_trace.hpp)"))
+
+        if (not perf_exempt and PERF_CALL.search(code)
+                and not allowed("perf-discipline", raw, prev)):
+            findings.append(
+                (rel, i, "perf-discipline",
+                 "perf-counter increments outside src/obs/ must go through "
+                 "the WMSN_PERF macro (src/obs/perf_stats.hpp)"))
 
         if (FLOAT_EQ.search(code) and not GTEST_LINE.search(code)
                 and not allowed("float-equality", raw, prev)):

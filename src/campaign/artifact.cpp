@@ -84,6 +84,18 @@ void appendRun(std::ostream& os, const RunRecord& r) {
        << ", \"trace_reroutes\": " << r.traceReroutes
        << ", \"trace_drop_events\": " << r.traceDropEvents
        << ", \"trace_mean_path_hops\": " << jsonNumber(r.traceMeanPathHops);
+  // Perf summary only when the spec counted the run, for the same
+  // byte-compatibility reason. Deterministic work counters first, then the
+  // machine-dependent telemetry (RSS, wall seconds, derived rates).
+  if (r.perfCaptured)
+    os << ",\n       \"perf_node_steps\": " << r.perfNodeSteps
+       << ", \"perf_frames_transmitted\": " << r.perfFramesTransmitted
+       << ", \"perf_pairs_examined\": " << r.perfPairsExamined
+       << ", \"perf_rng_draws\": " << r.perfRngDraws
+       << ",\n       \"perf_peak_rss_kb\": " << r.perfPeakRssKb
+       << ", \"perf_wall_seconds\": " << jsonNumber(r.perfWallSeconds)
+       << ", \"perf_rounds_per_sec\": " << jsonNumber(r.perfRoundsPerSec)
+       << ", \"perf_frames_per_sec\": " << jsonNumber(r.perfFramesPerSec);
   os << "}";
 }
 

@@ -12,8 +12,8 @@ namespace {
 // field: it contains its own RS/US/GS framing, so the decoder splits only
 // the fixed-count prefix and keeps the tail intact.
 constexpr char kSep = '\x1f';
-constexpr const char* kTag = "wmsnrec2";
-constexpr std::size_t kFixedFields = 34;  // tag..lastScalar, excl. metrics
+constexpr const char* kTag = "wmsnrec3";
+constexpr std::size_t kFixedFields = 43;  // tag..lastScalar, excl. metrics
 
 void appendField(std::string& out, const std::string& field) {
   out += kSep;
@@ -72,6 +72,20 @@ RunRecord makeRecord(const std::string& id, const std::string& cell,
   r.pdrDuringOutage = result.faults.pdrDuringOutage;
   if (result.observations) {
     r.metricsWire = result.observations->metrics.wire();
+    if (result.observations->perfCounted) {
+      const obs::PerfStats& perf = result.observations->perf;
+      const obs::ResourceTelemetry& tel = result.observations->telemetry;
+      r.perfCaptured = true;
+      r.perfNodeSteps = perf.value(obs::PerfCounter::kNodeSteps);
+      r.perfFramesTransmitted =
+          perf.value(obs::PerfCounter::kFramesTransmitted);
+      r.perfPairsExamined = perf.value(obs::PerfCounter::kPairsExamined);
+      r.perfRngDraws = perf.value(obs::PerfCounter::kRngDraws);
+      r.perfPeakRssKb = tel.peakRssKb;
+      r.perfWallSeconds = tel.wallSeconds;
+      r.perfRoundsPerSec = tel.roundsPerSec();
+      r.perfFramesPerSec = tel.framesPerSec();
+    }
     const auto& spans = result.observations->trace.spans;
     if (!spans.empty()) {
       const obs::TraceAnalysis analysis = obs::analyzeSpans(spans);
@@ -132,6 +146,15 @@ std::string encodeRecord(const RunRecord& record) {
   appendField(out, std::to_string(record.traceReroutes));
   appendField(out, std::to_string(record.traceDropEvents));
   appendField(out, wireDouble(record.traceMeanPathHops));
+  appendField(out, record.perfCaptured ? "1" : "0");
+  appendField(out, std::to_string(record.perfNodeSteps));
+  appendField(out, std::to_string(record.perfFramesTransmitted));
+  appendField(out, std::to_string(record.perfPairsExamined));
+  appendField(out, std::to_string(record.perfRngDraws));
+  appendField(out, std::to_string(record.perfPeakRssKb));
+  appendField(out, wireDouble(record.perfWallSeconds));
+  appendField(out, wireDouble(record.perfRoundsPerSec));
+  appendField(out, wireDouble(record.perfFramesPerSec));
   appendField(out, std::to_string(record.metricsWire.size()));
   out += kSep;
   out += record.metricsWire;
@@ -196,6 +219,15 @@ RunRecord decodeRecord(const std::string& line) {
   r.traceReroutes = parseU64(fields[f++]);
   r.traceDropEvents = parseU64(fields[f++]);
   r.traceMeanPathHops = parseWireDouble(fields[f++]);
+  r.perfCaptured = fields[f++] == "1";
+  r.perfNodeSteps = parseU64(fields[f++]);
+  r.perfFramesTransmitted = parseU64(fields[f++]);
+  r.perfPairsExamined = parseU64(fields[f++]);
+  r.perfRngDraws = parseU64(fields[f++]);
+  r.perfPeakRssKb = parseU64(fields[f++]);
+  r.perfWallSeconds = parseWireDouble(fields[f++]);
+  r.perfRoundsPerSec = parseWireDouble(fields[f++]);
+  r.perfFramesPerSec = parseWireDouble(fields[f++]);
   const std::uint64_t wireLen = parseU64(fields[f++]);
   WMSN_REQUIRE_MSG(tail.size() == wireLen,
                    "run record metrics blob length mismatch");

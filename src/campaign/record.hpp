@@ -62,6 +62,21 @@ struct RunRecord {
   std::uint64_t traceDropEvents = 0;
   double traceMeanPathHops = 0.0;
 
+  // Perf summary (zero unless the spec enabled `perf = on`): the
+  // deterministic work counters that define the kernel-scaling curve, plus
+  // the run's resource telemetry. The counters aggregate deterministically;
+  // the telemetry (RSS, wall, rates) is diagnostic and never enters the
+  // deterministic artifact-metrics merge.
+  bool perfCaptured = false;
+  std::uint64_t perfNodeSteps = 0;
+  std::uint64_t perfFramesTransmitted = 0;
+  std::uint64_t perfPairsExamined = 0;
+  std::uint64_t perfRngDraws = 0;
+  std::uint64_t perfPeakRssKb = 0;
+  double perfWallSeconds = 0.0;
+  double perfRoundsPerSec = 0.0;
+  double perfFramesPerSec = 0.0;
+
   /// obs::MetricsRegistry::wire() of the run's registry; empty when the
   /// spec did not enable metrics.
   std::string metricsWire;

@@ -198,6 +198,8 @@ void applySetting(core::ScenarioConfig& cfg, const std::string& key,
       cfg.spr.retryBackoff = sim::Time::seconds(0.2);
   } else if (key == "metrics") {
     cfg.obs.metrics = parseSwitch(key, value);
+  } else if (key == "perf") {
+    cfg.obs.perf = parseSwitch(key, value);
   } else if (key == "trace") {
     cfg.obs.traceSpans = parseSwitch(key, value);
   } else if (key == "trace-sample") {

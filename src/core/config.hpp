@@ -86,8 +86,16 @@ struct ObsOptions {
   /// hash(uid) % 1000 < traceSamplePermille. Network-scope events (uid 0)
   /// are always kept. 1000 = trace everything.
   std::uint32_t traceSamplePermille = 1000;
+  /// Deterministic work-counter ledger (frames, scans, pairs examined, RNG
+  /// draws, ...) plus non-deterministic resource telemetry (peak RSS,
+  /// allocations, rounds/sec). Counters derive from simulation state only
+  /// and export through a dedicated perf channel — enabling them never
+  /// perturbs metrics/timeseries/trace output bytes.
+  bool perf = false;
 
-  bool any() const { return metrics || timeseries || profile || traceSpans; }
+  bool any() const {
+    return metrics || timeseries || profile || traceSpans || perf;
+  }
 };
 
 /// Everything needed to build and run one simulated scenario. Every field

@@ -1,6 +1,8 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
 
 #include "routing/mlr.hpp"
 #include "routing/secmlr.hpp"
@@ -217,12 +219,27 @@ RunResult Experiment::run() {
           });
     }
     observations_->profiled = cfg.obs.profile;
+    observations_->perfCounted = cfg.obs.perf;
   }
   // Installs the phase profiler for this run only (thread-local, restored
   // on scope exit even if the run throws).
   obs::Profiler::Activation profiling(
       observations_ && observations_->profiled ? &observations_->profiler
                                                : nullptr);
+  // Same activation model for the work-counter ledger: every WMSN_PERF site
+  // reports into this run's PerfStats, or is a no-op when counting is off.
+  const bool perfOn = observations_ && observations_->perfCounted;
+  obs::PerfStats::Activation perfCounting(perfOn ? &observations_->perf
+                                                 : nullptr);
+  // Resource telemetry rides alongside the counters but stays strictly
+  // separate from deterministic output: wall clock over the run loop
+  // (steady_clock — diagnostic only) and the allocation window.
+  std::optional<obs::AllocationScope> allocWindow;
+  std::chrono::steady_clock::time_point wallStart{};
+  if (perfOn) {
+    allocWindow.emplace();
+    wallStart = std::chrono::steady_clock::now();
+  }
 
   s.stack->startAll();
 
@@ -248,6 +265,17 @@ RunResult Experiment::run() {
   // protocols flush just past the boundary) so the last round is not
   // artificially penalised.
   s.simulator.runUntil(s.simulator.now() + cfg.drainGrace);
+
+  if (perfOn) {
+    obs::ResourceTelemetry& tel = observations_->telemetry;
+    tel.captured = true;
+    tel.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wallStart)
+                          .count();
+    tel.allocCount = allocWindow->count();
+    tel.allocBytes = allocWindow->bytes();
+    tel.peakRssKb = obs::currentPeakRssKb();
+  }
   return collect(completed);
 }
 
@@ -346,6 +374,12 @@ RunResult Experiment::collect(std::uint32_t roundsCompleted) {
       // metrics JSON stays byte-identical to older builds.
       if (s.config.faults.any())
         fillFaultMetrics(s, r, observations_->metrics);
+    }
+    if (observations_->perfCounted) {
+      // Deterministic numerators for the telemetry's derived rates; copied
+      // here so multi-seed merges can re-derive rates from sums.
+      observations_->telemetry.rounds = roundsCompleted;
+      observations_->telemetry.frames = r.controlFrames + r.dataFrames;
     }
     r.observations = observations_;
   }

@@ -224,4 +224,17 @@ void fillFaultMetrics(const Scenario& scenario, const RunResult& result,
   for (const double l : f.recoveryLatenciesS) latency.observe(l);
 }
 
+void fillPerfMetrics(const std::string& protocol, const obs::PerfStats& perf,
+                     obs::MetricsRegistry& registry) {
+  const obs::Labels proto = {{"protocol", protocol}};
+  for (std::size_t i = 0; i < obs::kPerfCounterCount; ++i) {
+    const auto counter = static_cast<obs::PerfCounter>(i);
+    registry
+        .counter(std::string("wmsn_perf_") + obs::metricName(counter) +
+                     "_total",
+                 proto)
+        .add(perf.value(counter));
+  }
+}
+
 }  // namespace wmsn::core

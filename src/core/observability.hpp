@@ -5,6 +5,7 @@
 #include "core/builder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/packet_trace.hpp"
+#include "obs/perf_stats.hpp"
 #include "obs/profiler.hpp"
 #include "obs/timeseries.hpp"
 
@@ -20,6 +21,12 @@ struct RunObservations {
   obs::TimeSeriesRecorder timeseries{0};
   obs::Profiler profiler;
   bool profiled = false;
+  /// Deterministic work-counter ledger (only when ScenarioConfig::obs.perf).
+  obs::PerfStats perf;
+  bool perfCounted = false;
+  /// Non-deterministic resource telemetry paired with `perf`, never merged
+  /// into deterministic outputs.
+  obs::ResourceTelemetry telemetry;
   /// Retained packet spans (only when ScenarioConfig::obs.traceSpans).
   obs::PacketTraceLog trace;
 };
@@ -65,5 +72,14 @@ void fillRegistry(const Scenario& scenario, const RunResult& result,
 /// stay byte-identical to older builds.
 void fillFaultMetrics(const Scenario& scenario, const RunResult& result,
                       obs::MetricsRegistry& registry);
+
+/// Adds the `wmsn_perf_*` counter family from a run's PerfStats ledger under
+/// a {protocol} label. Deterministic; used only for the dedicated perf
+/// export (`--perf-out`) — never mixed into the delivery-metrics registry,
+/// so enabling counters cannot perturb an existing metrics file. Takes the
+/// protocol name (not a Scenario) so multi-seed merges can fill a registry
+/// after the scenarios are gone.
+void fillPerfMetrics(const std::string& protocol, const obs::PerfStats& perf,
+                     obs::MetricsRegistry& registry);
 
 }  // namespace wmsn::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/perf_stats.hpp"
 #include "obs/profiler.hpp"
 #include "util/invariants.hpp"
 #include "util/require.hpp"
@@ -76,6 +77,7 @@ void CsmaMac::serve(Packet packet) {
   // Initial random jitter de-synchronises nodes that react to the same
   // broadcast (e.g. a flood) in the same event — otherwise they would all
   // sense an idle channel simultaneously and collide deterministically.
+  WMSN_PERF(kRngDraws);
   const sim::Time jitter = sim::Time::microseconds(
       rng_.uniformInt(0, params_.backoffUnit.us * 8));
   simulator_.schedule(jitter,
@@ -108,6 +110,8 @@ void CsmaMac::attempt(Packet packet, std::uint32_t tries) {
     WMSN_TRACE(tracer_, obs::TraceSpanKind::kMacBackoff, simulator_.now().us,
                packet.uid, self_, packet.hopDst, obs::TraceDropReason::kNone,
                tries + 1, static_cast<std::uint32_t>(packet.sizeBytes()));
+  WMSN_PERF(kMacBackoffs);
+  WMSN_PERF(kRngDraws);
   const std::uint32_t be = std::min(params_.minBackoffExponent + tries,
                                     params_.maxBackoffExponent);
   const std::int64_t slots = rng_.uniformInt(1, (1 << be) - 1);

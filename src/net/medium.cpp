@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/perf_stats.hpp"
 #include "util/require.hpp"
 
 namespace wmsn::net {
@@ -82,6 +83,7 @@ void Medium::transmitAttempt(NodeId from, Packet packet,
 
   packet.hopSrc = from;
   ++framesTransmitted_;
+  WMSN_PERF(kFramesTransmitted);
   host_.noteTransmit(packet.kind, packet.sizeBytes());
   // Fixed transmit power sized to the nominal range (§5.2: identical power).
   host_.chargeTx(from, energy_.txCost(bits, radio_.nominalRange()));
@@ -93,6 +95,9 @@ void Medium::transmitAttempt(NodeId from, Packet packet,
   activeTx_.push_back(ActiveTx{from, srcPos, now, end});
 
   const std::size_t n = host_.nodeCount();
+  // The O(n²) cost ROADMAP item 1 targets: every transmission examines every
+  // node for range membership.
+  WMSN_PERF(kPairsExamined, n);
   for (NodeId rx = 0; rx < n; ++rx) {
     if (rx == from || !host_.listeningOf(rx)) continue;
     if (!radio_.linked(srcPos, host_.positionOf(rx))) continue;
@@ -121,6 +126,7 @@ void Medium::transmitAttempt(NodeId from, Packet packet,
 
     const double pDeliver =
         radio_.deliveryProbability(srcPos, host_.positionOf(rx));
+    WMSN_PERF(kRngDraws);
     const bool channelOk = rng_.chance(pDeliver);
     // Bursty fault-injection loss rides on top of the distance-based channel
     // model. The chain draws from its own stream, so when the model is
@@ -151,6 +157,7 @@ void Medium::transmitAttempt(NodeId from, Packet packet,
         // 802.15.4 AUTO-ACK ARQ: no immediate ACK arrived — retransmit
         // after the turnaround plus a short random backoff.
         ++arqRetransmissions_;
+        WMSN_PERF(kRngDraws);
         const sim::Time backoff =
             params_.arqTurnaround +
             sim::Time::microseconds(rng_.uniformInt(0, 1000));
@@ -198,6 +205,7 @@ void Medium::transmitLongRange(NodeId from, NodeId to, Packet packet) {
   packet.hopSrc = from;
   packet.hopDst = to;
   ++framesTransmitted_;
+  WMSN_PERF(kFramesTransmitted);
   host_.noteTransmit(packet.kind, packet.sizeBytes());
   host_.chargeTx(from, energy_.txCost(bits, d));
 

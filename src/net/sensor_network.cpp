@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "obs/perf_stats.hpp"
 #include "util/require.hpp"
 
 namespace wmsn::net {
@@ -63,6 +64,8 @@ const Node& SensorNetwork::node(NodeId id) const {
 
 std::vector<NodeId> SensorNetwork::neighborsOf(NodeId id) const {
   const Node& self = node(id);
+  WMSN_PERF(kNeighborScans);
+  WMSN_PERF(kPairsExamined, nodes_.size());
   std::vector<NodeId> out;
   for (const auto& other : nodes_) {
     if (other->id() == id || !other->alive()) continue;
@@ -116,6 +119,7 @@ std::optional<sim::Time> SensorNetwork::firstSensorDeathTime() const {
 void SensorNetwork::sendFrom(NodeId id, Packet packet) {
   Node& sender = node(id);
   if (!sender.alive()) return;
+  WMSN_PERF(kFramesOffered);
   packet.hopSrc = id;
   if (packet.uid == 0) packet.uid = nextPacketUid();
   if (packet.kind == PacketKind::kData)
@@ -170,6 +174,7 @@ void SensorNetwork::handleDeath(NodeId id) {
 
 void SensorNetwork::deliverFrame(NodeId to, const Packet& packet,
                                  NodeId from) {
+  WMSN_PERF(kFramesReceived);
   // One kRecv per decoded hop at the addressed receiver — the per-hop path
   // the trace analyzer reconstructs. Promiscuous/broadcast copies are not
   // path hops and stay untraced.

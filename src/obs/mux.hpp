@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/perf_stats.hpp"
 #include "util/require.hpp"
 
 namespace wmsn::obs {
@@ -53,6 +54,7 @@ class ObserverMux {
   std::size_t size() const { return observers_.size(); }
 
   void notify(Args... args) const {
+    if (!observers_.empty()) WMSN_PERF(kObserverDispatches, observers_.size());
     for (const auto& [name, handler] : observers_) handler(args...);
   }
 

@@ -1,0 +1,243 @@
+#include "obs/perf_stats.hpp"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace wmsn::obs {
+
+namespace {
+thread_local PerfStats* tlCurrent = nullptr;
+}  // namespace
+
+const char* toString(PerfCounter counter) {
+  switch (counter) {
+    case PerfCounter::kNodeSteps: return "node-steps";
+    case PerfCounter::kFramesOffered: return "frames-offered";
+    case PerfCounter::kFramesTransmitted: return "frames-transmitted";
+    case PerfCounter::kFramesReceived: return "frames-received";
+    case PerfCounter::kMacBackoffs: return "mac-backoffs";
+    case PerfCounter::kNeighborScans: return "neighbor-scans";
+    case PerfCounter::kPairsExamined: return "pairs-examined";
+    case PerfCounter::kRngDraws: return "rng-draws";
+    case PerfCounter::kRouteMutations: return "route-mutations";
+    case PerfCounter::kObserverDispatches: return "observer-dispatches";
+  }
+  return "unknown";
+}
+
+const char* metricName(PerfCounter counter) {
+  switch (counter) {
+    case PerfCounter::kNodeSteps: return "node_steps";
+    case PerfCounter::kFramesOffered: return "frames_offered";
+    case PerfCounter::kFramesTransmitted: return "frames_transmitted";
+    case PerfCounter::kFramesReceived: return "frames_received";
+    case PerfCounter::kMacBackoffs: return "mac_backoffs";
+    case PerfCounter::kNeighborScans: return "neighbor_scans";
+    case PerfCounter::kPairsExamined: return "pairs_examined";
+    case PerfCounter::kRngDraws: return "rng_draws";
+    case PerfCounter::kRouteMutations: return "route_mutations";
+    case PerfCounter::kObserverDispatches: return "observer_dispatches";
+  }
+  return "unknown";
+}
+
+PerfStats* PerfStats::current() { return tlCurrent; }
+
+PerfStats::Activation::Activation(PerfStats* stats) : previous_(tlCurrent) {
+  tlCurrent = stats;
+}
+
+PerfStats::Activation::~Activation() { tlCurrent = previous_; }
+
+void PerfStats::merge(const PerfStats& other) {
+  for (std::size_t i = 0; i < kPerfCounterCount; ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+bool PerfStats::any() const {
+  for (std::uint64_t v : counters_) {
+    if (v > 0) return true;
+  }
+  return false;
+}
+
+namespace {
+/// Counter indices ordered by metric name — the one deterministic order
+/// every exporter (table, JSON, metrics registry) shares.
+std::vector<std::size_t> sortedByName() {
+  std::vector<std::size_t> order(kPerfCounterCount);
+  for (std::size_t i = 0; i < kPerfCounterCount; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [](std::size_t a, std::size_t b) {
+                     return std::string(metricName(static_cast<PerfCounter>(a))) <
+                            std::string(metricName(static_cast<PerfCounter>(b)));
+                   });
+  return order;
+}
+}  // namespace
+
+TextTable PerfStats::table() const {
+  TextTable table({"counter", "count"});
+  for (std::size_t i : sortedByName()) {
+    table.addRow({toString(static_cast<PerfCounter>(i)),
+                  TextTable::num(counters_[i])});
+  }
+  return table;
+}
+
+std::string PerfStats::json() const {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i : sortedByName()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"";
+    out += metricName(static_cast<PerfCounter>(i));
+    out += "\": ";
+    out += std::to_string(counters_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+void ResourceTelemetry::merge(const ResourceTelemetry& other) {
+  if (!other.captured) return;
+  captured = true;
+  peakRssKb = std::max(peakRssKb, other.peakRssKb);
+  allocCount += other.allocCount;
+  allocBytes += other.allocBytes;
+  wallSeconds += other.wallSeconds;
+  rounds += other.rounds;
+  frames += other.frames;
+}
+
+std::string ResourceTelemetry::json() const {
+  std::string out = "{";
+  out += "\"alloc_bytes\": " + std::to_string(allocBytes);
+  out += ", \"alloc_count\": " + std::to_string(allocCount);
+  out += ", \"frames\": " + std::to_string(frames);
+  out += ", \"frames_per_sec\": " + jsonNumber(framesPerSec());
+  out += ", \"peak_rss_kb\": " + std::to_string(peakRssKb);
+  out += ", \"rounds\": " + std::to_string(rounds);
+  out += ", \"rounds_per_sec\": " + jsonNumber(roundsPerSec());
+  out += ", \"wall_seconds\": " + jsonNumber(wallSeconds);
+  out += "}";
+  return out;
+}
+
+std::uint64_t currentPeakRssKb() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return usage.ru_maxrss > 0 ? static_cast<std::uint64_t>(usage.ru_maxrss) : 0;
+}
+
+namespace {
+/// The innermost armed AllocationScope on this thread. A plain pointer of
+/// trivial type: safe to read from the allocator hooks even during static
+/// init/teardown (zero-initialised, never dereferenced unless armed).
+thread_local AllocationScope* tlAllocScope = nullptr;
+}  // namespace
+
+AllocationScope::AllocationScope() : previous_(tlAllocScope) {
+  tlAllocScope = this;
+}
+
+AllocationScope::~AllocationScope() { tlAllocScope = previous_; }
+
+namespace detail {
+
+void noteAllocation(std::size_t bytes) {
+  if (tlAllocScope != nullptr) {
+    tlAllocScope->note(static_cast<std::uint64_t>(bytes));
+  }
+}
+
+void* allocateOrThrow(std::size_t bytes) {
+  for (;;) {
+    void* p = std::malloc(bytes == 0 ? 1 : bytes);
+    if (p != nullptr) {
+      noteAllocation(bytes);
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* allocateAlignedOrThrow(std::size_t bytes, std::size_t alignment) {
+  for (;;) {
+    void* p = nullptr;
+    if (posix_memalign(&p, std::max(alignment, sizeof(void*)),
+                       bytes == 0 ? 1 : bytes) == 0) {
+      noteAllocation(bytes);
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+}  // namespace detail
+
+}  // namespace wmsn::obs
+
+// Global allocation hooks backing obs::AllocationScope. They replace the
+// default operator new/delete for the whole binary; unarmed threads pay a
+// thread-local load per allocation and nothing else. malloc/free remain the
+// underlying allocator, so sanitizer interception still sees every block.
+
+void* operator new(std::size_t bytes) {
+  return wmsn::obs::detail::allocateOrThrow(bytes);
+}
+
+void* operator new[](std::size_t bytes) {
+  return wmsn::obs::detail::allocateOrThrow(bytes);
+}
+
+void* operator new(std::size_t bytes, const std::nothrow_t&) noexcept {
+  void* p = std::malloc(bytes == 0 ? 1 : bytes);
+  if (p != nullptr) wmsn::obs::detail::noteAllocation(bytes);
+  return p;
+}
+
+void* operator new[](std::size_t bytes, const std::nothrow_t&) noexcept {
+  void* p = std::malloc(bytes == 0 ? 1 : bytes);
+  if (p != nullptr) wmsn::obs::detail::noteAllocation(bytes);
+  return p;
+}
+
+void* operator new(std::size_t bytes, std::align_val_t alignment) {
+  return wmsn::obs::detail::allocateAlignedOrThrow(
+      bytes, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t bytes, std::align_val_t alignment) {
+  return wmsn::obs::detail::allocateAlignedOrThrow(
+      bytes, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

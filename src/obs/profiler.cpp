@@ -1,5 +1,8 @@
 #include "obs/profiler.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "util/require.hpp"
 
 namespace wmsn::obs {
@@ -64,8 +67,18 @@ TextTable Profiler::table() const {
   double totalSelf = 0.0;
   for (const PhaseTotals& t : totals_) totalSelf += t.selfSeconds;
 
+  // Rows sorted by phase name, not enum order, so --profile output stays
+  // byte-stable if enumerators are ever reordered or added.
+  std::array<std::size_t, kPhaseCount> order{};
+  for (std::size_t i = 0; i < kPhaseCount; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [](std::size_t a, std::size_t b) {
+                     return std::strcmp(toString(static_cast<Phase>(a)),
+                                        toString(static_cast<Phase>(b))) < 0;
+                   });
+
   TextTable table({"phase", "calls", "self ms", "incl ms", "self %"});
-  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+  for (const std::size_t i : order) {
     const PhaseTotals& t = totals_[i];
     if (t.calls == 0) continue;
     table.addRow({toString(static_cast<Phase>(i)), TextTable::num(t.calls),

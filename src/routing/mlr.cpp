@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/perf_stats.hpp"
 #include "obs/profiler.hpp"
 #include "util/invariants.hpp"
 #include "util/require.hpp"
@@ -205,6 +206,7 @@ void MlrRouting::applyMove(const GatewayMoveMsg& msg, net::NodeId from,
   const std::uint16_t prevHops = entry.hops;
   const std::uint16_t cand = static_cast<std::uint16_t>(msg.hopCount + 1);
   if (!entry.known || cand <= entry.hops) {
+    WMSN_PERF(kRouteMutations);
     entry.known = true;
     entry.hops = cand;
     entry.nextHop = from;

@@ -1,5 +1,6 @@
 #include "routing/protocol.hpp"
 
+#include "obs/perf_stats.hpp"
 #include "util/require.hpp"
 
 namespace wmsn::routing {
@@ -52,6 +53,7 @@ void RoutingProtocol::sendBroadcastJittered(net::Packet packet) {
     sendBroadcast(std::move(packet));
     return;
   }
+  WMSN_PERF(kRngDraws);
   const sim::Time jitter = sim::Time::microseconds(
       network_.node(self_).rng().uniformInt(0, maxJitter.us));
   scheduleAfter(jitter, [this, packet = std::move(packet)]() mutable {
@@ -110,6 +112,7 @@ void ProtocolStack::startAll() {
 }
 
 void ProtocolStack::beginRound(std::uint32_t round) {
+  WMSN_PERF(kNodeSteps, protocols_.size());
   for (auto& p : protocols_) p->onRoundStart(round);
 }
 

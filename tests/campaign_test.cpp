@@ -215,6 +215,15 @@ TEST(CampaignRecord, WireRoundTripsLosslessly) {
   r.traceReroutes = 7;
   r.traceDropEvents = 13;
   r.traceMeanPathHops = 2.125;
+  r.perfCaptured = true;
+  r.perfNodeSteps = 360;
+  r.perfFramesTransmitted = 4100;
+  r.perfPairsExamined = 164000;
+  r.perfRngDraws = 9001;
+  r.perfPeakRssKb = 5120;
+  r.perfWallSeconds = 0.125;
+  r.perfRoundsPerSec = 96.0;
+  r.perfFramesPerSec = 32800.5;
   r.metricsWire = "wmsnmr1\x1e" "payload with \x1f and \x1d inside";
 
   const RunRecord back = campaign::decodeRecord(campaign::encodeRecord(r));
@@ -233,6 +242,18 @@ TEST(CampaignRecord, WireRoundTripsLosslessly) {
   EXPECT_EQ(back.traceDropEvents, r.traceDropEvents);
   // wmsn-lint: allow(float-equality)
   EXPECT_EQ(back.traceMeanPathHops, r.traceMeanPathHops);
+  EXPECT_EQ(back.perfCaptured, r.perfCaptured);
+  EXPECT_EQ(back.perfNodeSteps, r.perfNodeSteps);
+  EXPECT_EQ(back.perfFramesTransmitted, r.perfFramesTransmitted);
+  EXPECT_EQ(back.perfPairsExamined, r.perfPairsExamined);
+  EXPECT_EQ(back.perfRngDraws, r.perfRngDraws);
+  EXPECT_EQ(back.perfPeakRssKb, r.perfPeakRssKb);
+  // wmsn-lint: allow(float-equality)
+  EXPECT_EQ(back.perfWallSeconds, r.perfWallSeconds);
+  // wmsn-lint: allow(float-equality)
+  EXPECT_EQ(back.perfRoundsPerSec, r.perfRoundsPerSec);
+  // wmsn-lint: allow(float-equality)
+  EXPECT_EQ(back.perfFramesPerSec, r.perfFramesPerSec);
   EXPECT_EQ(back.metricsWire, r.metricsWire);
 }
 

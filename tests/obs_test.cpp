@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "core/wmsn.hpp"
+#include "net/sensor_network.hpp"
+#include "obs/perf_stats.hpp"
 #include "util/require.hpp"
 
 namespace wmsn {
@@ -236,6 +238,83 @@ TEST(Profiler, MergeSumsTotals) {
   EXPECT_EQ(a.totals(obs::Phase::kMacContention).calls, 2u);
 }
 
+TEST(Profiler, EmptyProfilerHasNoRowsAndMergesAsIdentity) {
+  const obs::Profiler empty;
+  EXPECT_FALSE(empty.any());
+  // The table of an untouched profiler carries the header and nothing else:
+  // zero-call phases are skipped, so no row invents a phase that never ran.
+  const std::string table = empty.table().str();
+  for (const obs::Phase phase :
+       {obs::Phase::kEventDispatch, obs::Phase::kMacContention,
+        obs::Phase::kCrypto, obs::Phase::kRouteMaintenance})
+    EXPECT_EQ(table.find(obs::toString(phase)), std::string::npos) << table;
+
+  obs::Profiler touched;
+  {
+    obs::Profiler::Activation activation(&touched);
+    WMSN_PROFILE_PHASE(kCrypto);
+  }
+  const double before = touched.totals(obs::Phase::kCrypto).inclusiveSeconds;
+  touched.merge(empty);  // merging an empty profiler changes nothing
+  EXPECT_EQ(touched.totals(obs::Phase::kCrypto).calls, 1u);
+  // wmsn-lint: allow(float-equality)
+  EXPECT_EQ(touched.totals(obs::Phase::kCrypto).inclusiveSeconds, before);
+  EXPECT_FALSE(empty.any());  // and leaves the source untouched
+
+  obs::Profiler sink;
+  sink.merge(empty);  // empty into empty stays empty
+  EXPECT_FALSE(sink.any());
+}
+
+TEST(Profiler, RepeatMergeAccumulatesLikeSeedOrderMerge) {
+  // The --repeat path merges one per-seed profiler after another into the
+  // first; merging the same source repeatedly must keep summing, exactly as
+  // distinct seeds with identical phase mixes would.
+  auto work = [](obs::Profiler& p, int times) {
+    obs::Profiler::Activation activation(&p);
+    for (int i = 0; i < times; ++i) {
+      WMSN_PROFILE_PHASE(kRouteMaintenance);
+    }
+  };
+  obs::Profiler merged, seedA, seedB;
+  work(merged, 1);
+  work(seedA, 2);
+  work(seedB, 3);
+  merged.merge(seedA);
+  merged.merge(seedB);
+  merged.merge(seedB);
+  EXPECT_EQ(merged.totals(obs::Phase::kRouteMaintenance).calls, 9u);
+  EXPECT_GE(merged.totals(obs::Phase::kRouteMaintenance).inclusiveSeconds,
+            seedB.totals(obs::Phase::kRouteMaintenance).inclusiveSeconds);
+}
+
+TEST(Profiler, TableRowsAreSortedByPhaseName) {
+  obs::Profiler profiler;
+  {
+    obs::Profiler::Activation activation(&profiler);
+    // Touch phases in reverse-alphabetical order; the table must not care.
+    {
+      WMSN_PROFILE_PHASE(kRouteMaintenance);
+    }
+    {
+      WMSN_PROFILE_PHASE(kMacContention);
+    }
+    {
+      WMSN_PROFILE_PHASE(kCrypto);
+    }
+  }
+  const std::string table = profiler.table().str();
+  const std::size_t crypto = table.find("crypto");
+  const std::size_t mac = table.find("mac-contention");
+  const std::size_t route = table.find("route-maintenance");
+  ASSERT_NE(crypto, std::string::npos);
+  ASSERT_NE(mac, std::string::npos);
+  ASSERT_NE(route, std::string::npos);
+  EXPECT_LT(crypto, mac);
+  EXPECT_LT(mac, route);
+  EXPECT_EQ(table.find("event-dispatch"), std::string::npos);  // never ran
+}
+
 // --- observer mux --------------------------------------------------------------
 
 TEST(ObserverMux, DoubleAttachOfSameNameFails) {
@@ -426,6 +505,169 @@ TEST(Observability, MetricsIdenticalAcrossThreadCounts) {
   const std::string serial = sweep(1);
   const std::string parallel = sweep(4);
   EXPECT_EQ(serial, parallel);  // byte-identical, any --threads
+}
+
+// --- perf counters --------------------------------------------------------------
+
+TEST(PerfStats, MacroIsNoOpWithoutLedgerAndCountsWithOne) {
+  ASSERT_EQ(obs::PerfStats::current(), nullptr);
+  WMSN_PERF(kRngDraws);  // no active ledger: must not crash or record
+  obs::PerfStats stats;
+  {
+    obs::PerfStats::Activation counting(&stats);
+    ASSERT_EQ(obs::PerfStats::current(), &stats);
+    WMSN_PERF(kRngDraws);
+    WMSN_PERF(kPairsExamined, 40);
+    WMSN_PERF(kPairsExamined, 2);
+  }
+  EXPECT_EQ(obs::PerfStats::current(), nullptr);  // Activation restored
+  EXPECT_TRUE(stats.any());
+  EXPECT_EQ(stats.value(obs::PerfCounter::kRngDraws), 1u);
+  EXPECT_EQ(stats.value(obs::PerfCounter::kPairsExamined), 42u);
+  EXPECT_EQ(stats.value(obs::PerfCounter::kFramesOffered), 0u);
+}
+
+TEST(PerfStats, ActivationNestsAndRestoresPreviousLedger) {
+  obs::PerfStats outer, inner;
+  obs::PerfStats::Activation a(&outer);
+  {
+    obs::PerfStats::Activation b(&inner);
+    WMSN_PERF(kNodeSteps, 5);
+  }
+  WMSN_PERF(kNodeSteps, 2);
+  EXPECT_EQ(inner.value(obs::PerfCounter::kNodeSteps), 5u);
+  EXPECT_EQ(outer.value(obs::PerfCounter::kNodeSteps), 2u);
+}
+
+TEST(PerfStats, MergeSumsAndJsonIsSortedByMetricName) {
+  obs::PerfStats a, b;
+  a.add(obs::PerfCounter::kFramesOffered, 3);
+  b.add(obs::PerfCounter::kFramesOffered, 4);
+  b.add(obs::PerfCounter::kMacBackoffs);
+  a.merge(b);
+  EXPECT_EQ(a.value(obs::PerfCounter::kFramesOffered), 7u);
+  EXPECT_EQ(a.value(obs::PerfCounter::kMacBackoffs), 1u);
+  const std::string json = a.json();
+  // Keys appear in metric-name order regardless of enumerator order, so the
+  // document is byte-stable across refactors of the counter list.
+  EXPECT_LT(json.find("\"frames_offered\""), json.find("\"mac_backoffs\""));
+  EXPECT_NE(json.find("\"frames_offered\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rng_draws\": 0"), std::string::npos) << json;
+}
+
+TEST(PerfStats, ThreeNodeLineTopologyCountsExactly) {
+  // A(0,0) — B(20,0) — C(40,0) with range 30: A hears B, B hears both, C
+  // hears B only. Ideal MAC (no jitter draw) and collisions off make every
+  // counter exactly predictable.
+  sim::Simulator simulator;
+  net::SensorNetworkParams params;
+  params.mac = net::MacKind::kIdeal;
+  params.medium.collisions = false;
+  net::SensorNetwork network(
+      simulator, std::make_unique<net::UnitDiskRadio>(30.0), params);
+  const net::NodeId a = network.addSensor({0, 0});
+  const net::NodeId b = network.addSensor({20, 0});
+  network.addSensor({40, 0});  // C: out of A's range
+
+  obs::PerfStats stats;
+  {
+    obs::PerfStats::Activation counting(&stats);
+
+    // Broadcast from A: one transmission scanning all 3 nodes, one in-range
+    // receiver (B) costing one channel draw and one delivery.
+    net::Packet hello;
+    hello.kind = net::PacketKind::kHello;
+    hello.hopDst = net::kBroadcastId;
+    network.sendFrom(a, hello);
+    simulator.run();
+    EXPECT_EQ(stats.value(obs::PerfCounter::kFramesOffered), 1u);
+    EXPECT_EQ(stats.value(obs::PerfCounter::kFramesTransmitted), 1u);
+    EXPECT_EQ(stats.value(obs::PerfCounter::kFramesReceived), 1u);
+    EXPECT_EQ(stats.value(obs::PerfCounter::kPairsExamined), 3u);
+    EXPECT_EQ(stats.value(obs::PerfCounter::kRngDraws), 1u);
+
+    // Unicast data A→B: delivered on the first attempt, so the default ARQ
+    // budget is never spent — same per-transmission costs as the broadcast.
+    net::Packet data;
+    data.kind = net::PacketKind::kData;
+    data.hopDst = b;
+    network.sendFrom(a, data);
+    simulator.run();
+    EXPECT_EQ(stats.value(obs::PerfCounter::kFramesOffered), 2u);
+    EXPECT_EQ(stats.value(obs::PerfCounter::kFramesTransmitted), 2u);
+    EXPECT_EQ(stats.value(obs::PerfCounter::kFramesReceived), 2u);
+    EXPECT_EQ(stats.value(obs::PerfCounter::kPairsExamined), 6u);
+    EXPECT_EQ(stats.value(obs::PerfCounter::kRngDraws), 2u);
+
+    // One neighbor scan examines all 3 nodes.
+    EXPECT_EQ(network.neighborsOf(a).size(), 1u);
+    EXPECT_EQ(stats.value(obs::PerfCounter::kNeighborScans), 1u);
+    EXPECT_EQ(stats.value(obs::PerfCounter::kPairsExamined), 9u);
+  }
+
+  // Nothing else ran: no MAC contention, no protocol rounds, no route
+  // writes, no attached observers.
+  EXPECT_EQ(stats.value(obs::PerfCounter::kMacBackoffs), 0u);
+  EXPECT_EQ(stats.value(obs::PerfCounter::kNodeSteps), 0u);
+  EXPECT_EQ(stats.value(obs::PerfCounter::kRouteMutations), 0u);
+  EXPECT_EQ(stats.value(obs::PerfCounter::kObserverDispatches), 0u);
+}
+
+TEST(PerfStats, CountersAreMonotonePerRoundDuringARun) {
+  core::ScenarioConfig cfg = obsConfig(6);
+  cfg.obs.perf = true;
+  const auto scenario = core::buildScenario(cfg);
+  core::Experiment experiment(*scenario);
+
+  std::vector<std::uint64_t> workPerRound;
+  experiment.addRoundObserver("perf-monotone-probe", [&](std::uint32_t) {
+    const obs::PerfStats* live = obs::PerfStats::current();
+    ASSERT_NE(live, nullptr);  // the run's ledger is active on this thread
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < obs::kPerfCounterCount; ++i)
+      total += live->value(static_cast<obs::PerfCounter>(i));
+    workPerRound.push_back(total);
+  });
+  const auto result = experiment.run();
+
+  ASSERT_EQ(workPerRound.size(), result.roundsCompleted);
+  ASSERT_FALSE(workPerRound.empty());
+  EXPECT_GT(workPerRound.front(), 0u);  // round 0 already did work
+  for (std::size_t i = 1; i < workPerRound.size(); ++i)
+    EXPECT_GE(workPerRound[i], workPerRound[i - 1]) << "round " << i;
+  ASSERT_NE(result.observations, nullptr);
+  EXPECT_TRUE(result.observations->perfCounted);
+  // The final ledger includes everything the last observed round saw.
+  std::uint64_t finalTotal = 0;
+  for (std::size_t i = 0; i < obs::kPerfCounterCount; ++i)
+    finalTotal += result.observations->perf.value(
+        static_cast<obs::PerfCounter>(i));
+  EXPECT_GE(finalTotal, workPerRound.back());
+}
+
+TEST(PerfStats, CountersIdenticalAcrossThreadCounts) {
+  // The deterministic half of the ledger is part of the byte-identical
+  // contract: any --threads, same counters, run by run and merged.
+  auto sweep = [](unsigned threads) {
+    std::vector<core::ScenarioConfig> configs;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      configs.push_back(obsConfig(seed));
+      configs.back().obs.perf = true;
+    }
+    const auto results = core::runScenariosParallel(configs, threads);
+    obs::PerfStats merged;
+    std::string perRun;
+    for (const auto& r : results) {
+      EXPECT_TRUE(r.observations->perfCounted);
+      EXPECT_TRUE(r.observations->telemetry.captured);
+      merged.merge(r.observations->perf);
+      perRun += r.observations->perf.json() + "\n";
+    }
+    return merged.json() + "\n---\n" + perRun;
+  };
+  const std::string serial = sweep(1);
+  const std::string parallel = sweep(4);
+  EXPECT_EQ(serial, parallel);
 }
 
 }  // namespace
