@@ -1,12 +1,25 @@
 #!/usr/bin/env bash
-# Perf-counter gate (scripts/check_all.sh "perf" row). Two contracts:
+# Perf-counter gate (scripts/check_all.sh "perf" row). Four contracts:
 #
 #   1. zero perturbation — arming the perf ledger (--perf-out) must not
 #      change a single byte of the run's stdout or its metrics registry.
 #      The pinned scenario runs twice, counters off and on; the only
 #      allowed difference is the "(perf counters written to ...)" notice
 #      line, which is stripped before the diff.
-#   2. throughput smoke  — the 1k point of the committed kernel-scaling
+#   2. pre-grid byte identity — the pinned 1k kernel scenario (the 1k
+#      point of campaigns/kernel_scale.spec) must reproduce the committed
+#      tests/golden/kernel_1k/ stdout and metrics registry byte for byte.
+#      That golden was captured on the pre-spatial-grid O(n²) kernel, so
+#      this is the standing proof that the grid + active-set kernel
+#      (docs/KERNEL.md) changed HOW the work is done, not WHAT happens.
+#   3. pairs budget — at the 4k curve point, pairs_examined (grid
+#      candidates) must stay within an O(n·k) budget: at most
+#      WMSN_PERF_PAIRS_BUDGET_PER_FRAME (default 200) candidates per
+#      transmitted frame. The pre-grid kernel examined ~4000 per frame
+#      (one per node); the grid examines ~19. A regression back toward
+#      all-pairs scanning trips this long before it trips a wall-clock
+#      gate.
+#   4. throughput smoke  — the 1k point of the committed kernel-scaling
 #      baseline (BENCH_kernel.json, campaigns/kernel_scale.spec) must be
 #      reproducible: best-of-3 rounds/sec within a tolerance of the
 #      committed figure, re-measured through wmsn_campaign's fork pool —
@@ -65,7 +78,55 @@ assert doc["telemetry"]["rounds_per_sec"] > 0, doc["telemetry"]
 EOF
 echo "check_perf: zero-perturbation ok (stdout + metrics byte-identical)"
 
-# --- 2. throughput smoke vs the committed baseline -------------------------
+# --- 2. byte identity vs the committed pre-grid golden ---------------------
+# The exact [variant 1k] scenario of campaigns/kernel_scale.spec. The golden
+# was captured before the spatial-grid kernel landed; any stdout or metrics
+# drift here means the kernel changed simulation outcomes, not just cost.
+kernel1k=(--protocol mlr --deployment grid --sensors 1000 --gateways 2
+          --places 4 --area 630 --rounds 2 --static --workload poisson
+          --rate 0.07 --seed 31)
+mkdir "$work/golden"
+(cd "$work/golden" && "$cli" "${kernel1k[@]}" --metrics-out metrics.json) \
+    >"$work/golden.stdout"
+if ! diff -u "$srcdir/tests/golden/kernel_1k/stdout.txt" \
+             "$work/golden.stdout" >"$work/golden.diff"; then
+  echo "check_perf: 1k kernel scenario stdout drifted from the pre-grid" \
+       "golden (tests/golden/kernel_1k/stdout.txt):" >&2
+  head -40 "$work/golden.diff" >&2
+  exit 1
+fi
+if ! cmp -s "$srcdir/tests/golden/kernel_1k/metrics.json" \
+            "$work/golden/metrics.json"; then
+  echo "check_perf: 1k kernel scenario metrics drifted from the pre-grid" \
+       "golden (tests/golden/kernel_1k/metrics.json)" >&2
+  exit 1
+fi
+echo "check_perf: pre-grid golden ok (1k stdout + metrics byte-identical)"
+
+# --- 3. pairs budget at the 4k curve point ---------------------------------
+kernel4k=(--protocol mlr --deployment grid --sensors 4000 --gateways 2
+          --places 4 --area 1270 --rounds 2 --static --workload poisson
+          --rate 0.0175 --seed 31)
+mkdir "$work/pairs"
+(cd "$work/pairs" && "$cli" "${kernel4k[@]}" --perf-out perf.json) \
+    >/dev/null
+budget="${WMSN_PERF_PAIRS_BUDGET_PER_FRAME:-200}"
+python3 - "$work/pairs/perf.json" "$budget" <<'EOF' || exit 1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+budget = float(sys.argv[2])
+pairs = doc["counters"]["pairs_examined"]
+frames = doc["counters"]["frames_transmitted"]
+assert frames > 0 and pairs > 0, doc["counters"]
+per_frame = pairs / frames
+ok = per_frame <= budget
+print(f"check_perf: 4k pairs budget {per_frame:.1f} candidates/frame "
+      f"(budget {budget:g}; all-pairs would be ~4000) "
+      f"{'ok' if ok else 'EXCEEDED'}")
+sys.exit(0 if ok else 1)
+EOF
+
+# --- 4. throughput smoke vs the committed baseline -------------------------
 baseline="$srcdir/BENCH_kernel.json"
 if [ ! -f "$baseline" ]; then
   echo "check_perf: SKIP throughput smoke (no BENCH_kernel.json)"

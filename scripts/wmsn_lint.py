@@ -52,6 +52,17 @@ Enforces the repo-wide invariants that generic tooling cannot know about:
                     bypasses the guard and crashes when no ledger is
                     active. (Tests may drive ledgers directly.)
 
+  rangescan-discipline
+                    Radio-range membership tests (RadioModel::linked)
+                    outside the kernel layers re-introduce the all-pairs
+                    O(n²) position scans the sim::SpatialGrid deleted
+                    (docs/KERNEL.md). Range queries go through
+                    SensorNetwork::neighborsOf or the grid; only src/sim/,
+                    src/net/ (the radio model and its grid-fed callers)
+                    and src/mesh/ (its own small topology) may call
+                    linked() directly. Tests/benches compare against
+                    brute force by design.
+
 Suppress a finding with an inline comment on the offending line (or the
 line directly above):   // wmsn-lint: allow(<rule-id>)
 
@@ -82,6 +93,9 @@ RULES = {
     "process-discipline": "fork/exec/system/popen outside src/campaign/",
     "trace-discipline": "direct emitSpan/onEvent outside src/obs/ (use WMSN_TRACE)",
     "perf-discipline": "direct PerfCounter add outside src/obs/ (use WMSN_PERF)",
+    "rangescan-discipline":
+        "direct linked() range test outside src/sim|net|mesh (use "
+        "neighborsOf / the spatial grid)",
 }
 
 RNG_TOKENS = [
@@ -145,6 +159,15 @@ TRACE_CALL = re.compile(r"\b(emitSpan|onEvent)\s*\(")
 PERF_EXEMPT = re.compile(r"src[/\\]obs[/\\]|tests[/\\]")
 PERF_CALL = re.compile(
     r"\badd\s*\(\s*(::\s*)?(wmsn\s*::\s*)?(obs\s*::\s*)?PerfCounter\b")
+
+# Radio-range membership tests outside the kernel layers re-grow the O(n²)
+# wall the spatial grid removed: every such loop is an all-pairs position
+# scan in disguise. The radio model (src/net/) and the grid-backed kernel
+# (src/sim/) own the predicate; src/mesh/ runs its own small topology;
+# tests and benches compare against brute force by design.
+RANGESCAN_EXEMPT = re.compile(
+    r"src[/\\](sim|net|mesh)[/\\]|tests[/\\]|bench[/\\]")
+RANGESCAN_CALL = re.compile(r"[.>]\s*linked\s*\(")
 
 
 def allowed(rule, line, prev_line):
@@ -210,6 +233,7 @@ def lint_file(path, rel, findings):
     process_exempt = bool(PROCESS_EXEMPT.search(rel))
     trace_exempt = bool(TRACE_EXEMPT.search(rel))
     perf_exempt = bool(PERF_EXEMPT.search(rel))
+    rangescan_exempt = bool(RANGESCAN_EXEMPT.search(rel))
     is_header = rel.endswith((".hpp", ".h"))
 
     if is_header:
@@ -254,6 +278,14 @@ def lint_file(path, rel, findings):
                 (rel, i, "perf-discipline",
                  "perf-counter increments outside src/obs/ must go through "
                  "the WMSN_PERF macro (src/obs/perf_stats.hpp)"))
+
+        if (not rangescan_exempt and RANGESCAN_CALL.search(code)
+                and not allowed("rangescan-discipline", raw, prev)):
+            findings.append(
+                (rel, i, "rangescan-discipline",
+                 "direct linked() range test re-grows the O(n²) all-pairs "
+                 "scan; query SensorNetwork::neighborsOf or the spatial grid "
+                 "(docs/KERNEL.md)"))
 
         if (FLOAT_EQ.search(code) and not GTEST_LINE.search(code)
                 and not allowed("float-equality", raw, prev)):

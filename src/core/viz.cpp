@@ -8,16 +8,16 @@ SvgWriter renderTopology(const Scenario& scenario, VizOptions options) {
   const net::SensorNetwork& network = *scenario.network;
   SvgWriter svg(scenario.config.width, scenario.config.height);
 
-  // Radio links first (underneath everything else).
+  // Radio links first (underneath everything else). Served by the spatial
+  // grid via neighborsOf; each undirected sensor-sensor edge is drawn once,
+  // from its lower-id endpoint.
   if (options.drawLinks) {
-    const auto& sensors = network.sensorIds();
-    for (std::size_t i = 0; i < sensors.size(); ++i) {
-      const net::Node& a = network.node(sensors[i]);
+    for (const net::NodeId s : network.sensorIds()) {
+      const net::Node& a = network.node(s);
       if (!a.alive()) continue;
-      for (std::size_t j = i + 1; j < sensors.size(); ++j) {
-        const net::Node& b = network.node(sensors[j]);
-        if (!b.alive()) continue;
-        if (!network.radio().linked(a.position(), b.position())) continue;
+      for (const net::NodeId nbr : network.neighborsOf(s)) {
+        if (nbr <= s || network.node(nbr).isGateway()) continue;
+        const net::Node& b = network.node(nbr);
         svg.line(a.position().x, a.position().y, b.position().x,
                  b.position().y, "#cccccc", 0.4, 0.6);
       }

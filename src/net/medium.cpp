@@ -26,13 +26,6 @@ sim::Time Medium::airTime(const Packet& packet) const {
       std::max<std::int64_t>(1, static_cast<std::int64_t>(seconds * 1e6)));
 }
 
-void Medium::pruneExpired() {
-  const sim::Time now = simulator_.now();
-  std::erase_if(activeTx_, [&](const ActiveTx& tx) { return tx.end <= now; });
-  std::erase_if(ongoingRx_,
-                [&](const auto& rx) { return rx->end <= now; });
-}
-
 void Medium::setPromiscuous(NodeId id, bool enabled) {
   if (enabled)
     promiscuous_.insert(id);
@@ -41,13 +34,7 @@ void Medium::setPromiscuous(NodeId id, bool enabled) {
 }
 
 bool Medium::channelBusy(NodeId at) const {
-  const sim::Time now = simulator_.now();
-  const Point here = host_.positionOf(at);
-  for (const ActiveTx& tx : activeTx_) {
-    if (tx.end <= now) continue;
-    if (radio_.linked(tx.senderPos, here)) return true;
-  }
-  return false;
+  return at < busyUntil_.size() && simulator_.now() < busyUntil_[at];
 }
 
 fault::GilbertElliottChain& Medium::chainFor(NodeId rx) {
@@ -74,7 +61,6 @@ void Medium::transmit(NodeId from, Packet packet) {
 void Medium::transmitAttempt(NodeId from, Packet packet,
                              std::uint32_t retriesLeft) {
   if (!host_.aliveOf(from)) return;
-  pruneExpired();
 
   const sim::Time now = simulator_.now();
   const sim::Time end = now + airTime(packet);
@@ -92,15 +78,27 @@ void Medium::transmitAttempt(NodeId from, Packet packet,
                packet.hopDst, obs::TraceDropReason::kNone, retriesLeft,
                static_cast<std::uint32_t>(packet.sizeBytes()));
 
-  activeTx_.push_back(ActiveTx{from, srcPos, now, end});
-
+  WMSN_REQUIRE_MSG(hot_ != nullptr, "Medium::setHotState not wired");
   const std::size_t n = host_.nodeCount();
-  // The O(n²) cost ROADMAP item 1 targets: every transmission examines every
-  // node for range membership.
-  WMSN_PERF(kPairsExamined, n);
-  for (NodeId rx = 0; rx < n; ++rx) {
+  if (busyUntil_.size() < n) busyUntil_.resize(n, sim::Time{});
+  if (rxOngoing_.size() < n) rxOngoing_.resize(n);
+
+  // Candidate receivers from the spatial grid: everyone whose cell
+  // intersects the transmit disk, ascending by id so draw order matches the
+  // old 0..n-1 scan byte for byte.
+  hot_->grid().query(srcPos.x, srcPos.y, radio_.nominalRange(), scratch_);
+  WMSN_PERF(kGridQueries);
+  WMSN_PERF(kPairsExamined, scratch_.size());
+  for (const std::uint32_t rx : scratch_) {
+    if (!radio_.linked(srcPos, Point{hot_->x(rx), hot_->y(rx)})) continue;
+    // Every radio in range hears energy on the channel — including the
+    // sender itself and nodes that are asleep, failed, or dead. Carrier
+    // sense is about the channel, not about who can decode.
+    if (busyUntil_[rx] < end) busyUntil_[rx] = end;
     if (rx == from || !host_.listeningOf(rx)) continue;
-    if (!radio_.linked(srcPos, host_.positionOf(rx))) continue;
+
+    auto& ongoing = rxOngoing_[rx];
+    std::erase_if(ongoing, [&](const auto& r) { return r->end <= now; });
 
     auto reception = std::make_shared<Reception>();
     reception->receiver = rx;
@@ -108,9 +106,7 @@ void Medium::transmitAttempt(NodeId from, Packet packet,
     reception->end = end;
 
     if (params_.collisions) {
-      for (const auto& other : ongoingRx_) {
-        if (other->receiver != rx) continue;
-        if (other->end <= now) continue;  // already finished
+      for (const auto& other : ongoing) {
         // Receiver capture: the radio stays locked on the frame it started
         // decoding first; a later-arriving overlapping frame is lost, but
         // does not corrupt the locked one. Simultaneous starts jam both.
@@ -122,7 +118,7 @@ void Medium::transmitAttempt(NodeId from, Packet packet,
         }
       }
     }
-    ongoingRx_.push_back(reception);
+    ongoing.push_back(reception);
 
     const double pDeliver =
         radio_.deliveryProbability(srcPos, host_.positionOf(rx));

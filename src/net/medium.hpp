@@ -11,6 +11,7 @@
 #include "net/packet.hpp"
 #include "net/radio.hpp"
 #include "obs/packet_trace.hpp"
+#include "sim/node_state.hpp"
 #include "sim/simulator.hpp"
 #include "util/random.hpp"
 
@@ -66,11 +67,22 @@ struct MediumParams {
 /// must decode the header before filtering), all of them can collide, and
 /// the host delivers the frame to those the addressing matches — which is
 /// exactly what lets routing protocols overhear and adversaries eavesdrop.
+///
+/// In-range candidates come from the network's sim::SpatialGrid (wired in
+/// via setHotState right after construction), so a transmission costs O(k)
+/// in the local neighborhood instead of the O(n) all-nodes sweep it used to.
+/// Carrier sense and collision state are per-node — a busy-until horizon and
+/// a per-receiver reception list — so neither ever scans a global vector.
 class Medium {
  public:
   Medium(sim::Simulator& simulator, const RadioModel& radio,
          const EnergyParams& energy, MediumHost& host, MediumParams params,
          Rng rng);
+
+  /// Wires in the struct-of-arrays hot state (positions + spatial grid).
+  /// Must be set before the first transmit; SensorNetwork does so in its
+  /// constructor.
+  void setHotState(const sim::NodeStateBlock* hot) { hot_ = hot; }
 
   /// Begin transmitting `packet` from node `from` at fixed power (nominal
   /// range). Delivery callbacks fire when the frame's air time elapses.
@@ -106,13 +118,6 @@ class Medium {
   }
 
  private:
-  struct ActiveTx {
-    NodeId sender;
-    Point senderPos;
-    sim::Time start;
-    sim::Time end;
-  };
-
   struct Reception {
     NodeId receiver;
     sim::Time start;
@@ -120,7 +125,6 @@ class Medium {
     bool corrupted = false;
   };
 
-  void pruneExpired();
   void transmitAttempt(NodeId from, Packet packet, std::uint32_t retriesLeft);
   fault::GilbertElliottChain& chainFor(NodeId rx);
 
@@ -131,9 +135,17 @@ class Medium {
   MediumParams params_;
   Rng rng_;
   obs::PacketTracer* tracer_ = nullptr;
+  const sim::NodeStateBlock* hot_ = nullptr;
 
-  std::vector<ActiveTx> activeTx_;
-  std::vector<std::shared_ptr<Reception>> ongoingRx_;
+  /// Per-node carrier-sense horizon: the latest end time of any transmission
+  /// whose sender was in range of this node when it keyed up. channelBusy is
+  /// one array read; no transmission list is kept, let alone scanned.
+  std::vector<sim::Time> busyUntil_;
+  /// Per-receiver in-flight receptions (collision bookkeeping). Expired
+  /// entries are pruned inline whenever a receiver gains a new reception.
+  std::vector<std::vector<std::shared_ptr<Reception>>> rxOngoing_;
+  /// Scratch for grid candidate queries — reused across transmissions.
+  std::vector<std::uint32_t> scratch_;
   std::unordered_set<NodeId> promiscuous_;
   std::uint64_t framesTransmitted_ = 0;
   std::uint64_t framesCorrupted_ = 0;

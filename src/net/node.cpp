@@ -2,16 +2,14 @@
 
 namespace wmsn::net {
 
-Node::Node(NodeId id, NodeKind kind, Point position, Battery battery, Rng rng)
-    : id_(id),
-      kind_(kind),
-      position_(position),
-      battery_(battery),
+Node::Node(NodeId id, NodeKind kind, sim::NodeStateBlock& block,
+           std::vector<Battery>& batteries, Rng rng)
+    : id_(id), kind_(kind), block_(&block), batteries_(&batteries),
       rng_(rng) {}
 
 void Node::kill(sim::Time when) {
-  if (!alive_) return;
-  alive_ = false;
+  if (block_->dead(id_)) return;
+  block_->setDead(id_);
   deathTime_ = when;
 }
 

@@ -8,6 +8,7 @@
 #include "net/geometry.hpp"
 #include "net/mac.hpp"
 #include "net/packet.hpp"
+#include "sim/node_state.hpp"
 #include "util/random.hpp"
 
 namespace wmsn::net {
@@ -17,25 +18,30 @@ enum class NodeKind : std::uint8_t {
   kGateway,  ///< WMG: sink of the sensor tier, router of the mesh tier
 };
 
-/// One device in a sensor network: identity, position, battery, link layer,
-/// and an upcall to whatever protocol stack is attached.
+/// One device in a sensor network: identity, link layer, and an upcall to
+/// whatever protocol stack is attached. The hot per-node state the kernel
+/// sweeps every round — position, liveness flags, battery — lives in the
+/// network's struct-of-arrays sim::NodeStateBlock / battery array; a Node is
+/// a view over its slot, so the old per-object accessors keep working while
+/// the sweeps run over dense memory.
 class Node {
  public:
   using ReceiveHandler = std::function<void(const Packet&, NodeId from)>;
 
-  Node(NodeId id, NodeKind kind, Point position, Battery battery, Rng rng);
+  Node(NodeId id, NodeKind kind, sim::NodeStateBlock& block,
+       std::vector<Battery>& batteries, Rng rng);
 
   NodeId id() const { return id_; }
   NodeKind kind() const { return kind_; }
   bool isGateway() const { return kind_ == NodeKind::kGateway; }
 
-  const Point& position() const { return position_; }
-  void setPosition(Point p) { position_ = p; }
+  Point position() const { return Point{block_->x(id_), block_->y(id_)}; }
+  void setPosition(Point p) { block_->setPosition(id_, p.x, p.y); }
 
-  Battery& battery() { return battery_; }
-  const Battery& battery() const { return battery_; }
+  Battery& battery() { return (*batteries_)[id_]; }
+  const Battery& battery() const { return (*batteries_)[id_]; }
 
-  bool alive() const { return alive_ && !failed_; }
+  bool alive() const { return block_->alive(id_); }
   void kill(sim::Time when);
   std::optional<sim::Time> deathTime() const { return deathTime_; }
 
@@ -43,16 +49,16 @@ class Node {
   /// off, no processing) but keeps its battery, and — unlike kill() — the
   /// condition is reversible and does not count toward lifetime metrics
   /// (deathTime stays unset unless the battery actually empties).
-  bool failed() const { return failed_; }
-  void setFailed(bool failed) { failed_ = failed; }
+  bool failed() const { return block_->failed(id_); }
+  void setFailed(bool failed) { block_->setFailed(id_, failed); }
 
   /// Sleep scheduling (§4.4): a sleeping node's radio is off — it neither
   /// receives nor pays RX energy, but it may still wake briefly to transmit
   /// its own readings (duty-cycled sensing).
-  bool sleeping() const { return sleeping_; }
-  void setSleeping(bool sleeping) { sleeping_ = sleeping; }
+  bool sleeping() const { return block_->sleeping(id_); }
+  void setSleeping(bool sleeping) { block_->setSleeping(id_, sleeping); }
   /// Awake and alive — what the medium checks before delivering a frame.
-  bool listening() const { return alive() && !sleeping_; }
+  bool listening() const { return block_->listening(id_); }
 
   void setMac(std::unique_ptr<Mac> mac) { mac_ = std::move(mac); }
   Mac& mac() { return *mac_; }
@@ -70,11 +76,8 @@ class Node {
  private:
   NodeId id_;
   NodeKind kind_;
-  Point position_;
-  Battery battery_;
-  bool alive_ = true;
-  bool failed_ = false;
-  bool sleeping_ = false;
+  sim::NodeStateBlock* block_;
+  std::vector<Battery>* batteries_;
   std::optional<sim::Time> deathTime_;
   std::unique_ptr<Mac> mac_;
   ReceiveHandler receiveHandler_;

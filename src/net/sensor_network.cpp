@@ -14,20 +14,27 @@ SensorNetwork::SensorNetwork(sim::Simulator& simulator,
       radio_(std::move(radio)),
       params_(params),
       rng_(params.seed),
+      // Grid cells sized to the radio's nominal range: a range query then
+      // touches at most a 3×3 cell block (docs/KERNEL.md).
+      block_(this->radio_->nominalRange()),
       tracer_(params.trace) {
   WMSN_REQUIRE(radio_ != nullptr);
   medium_ = std::make_unique<Medium>(simulator_, *radio_, params_.energy,
                                      *this, params_.medium, rng_.fork());
+  medium_->setHotState(&block_);
   medium_->setTracer(&tracer_);
 }
 
 NodeId SensorNetwork::addNode(NodeKind kind, Point position) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
-  Battery battery =
+  const NodeId slot = block_.add(position.x, position.y);
+  WMSN_REQUIRE(slot == id);
+  batteries_.push_back(
       (kind == NodeKind::kSensor || params_.gatewaysBatteryLimited)
           ? Battery(params_.energy.initialEnergyJ)
-          : Battery::infinite();
-  auto node = std::make_unique<Node>(id, kind, position, battery, rng_.fork());
+          : Battery::infinite());
+  auto node =
+      std::make_unique<Node>(id, kind, block_, batteries_, rng_.fork());
   switch (params_.mac) {
     case MacKind::kIdeal:
       node->setMac(std::make_unique<IdealMac>(*medium_, id));
@@ -63,14 +70,17 @@ const Node& SensorNetwork::node(NodeId id) const {
 }
 
 std::vector<NodeId> SensorNetwork::neighborsOf(NodeId id) const {
-  const Node& self = node(id);
+  WMSN_REQUIRE(id < nodes_.size());
+  const Point here{block_.x(id), block_.y(id)};
   WMSN_PERF(kNeighborScans);
-  WMSN_PERF(kPairsExamined, nodes_.size());
+  block_.grid().query(here.x, here.y, radio_->nominalRange(), queryScratch_);
+  WMSN_PERF(kGridQueries);
+  WMSN_PERF(kPairsExamined, queryScratch_.size());
   std::vector<NodeId> out;
-  for (const auto& other : nodes_) {
-    if (other->id() == id || !other->alive()) continue;
-    if (radio_->linked(self.position(), other->position()))
-      out.push_back(other->id());
+  for (const std::uint32_t other : queryScratch_) {
+    if (other == id || !block_.alive(other)) continue;
+    if (radio_->linked(here, Point{block_.x(other), block_.y(other)}))
+      out.push_back(other);
   }
   return out;
 }

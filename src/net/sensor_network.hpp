@@ -10,6 +10,7 @@
 #include "net/radio.hpp"
 #include "obs/mux.hpp"
 #include "obs/packet_trace.hpp"
+#include "sim/node_state.hpp"
 #include "sim/simulator.hpp"
 
 namespace wmsn::net {
@@ -55,7 +56,20 @@ class SensorNetwork final : public MediumHost {
   const std::vector<NodeId>& gatewayIds() const { return gatewayIds_; }
 
   /// Alive nodes currently within radio range of `id` (excluding itself).
+  /// Served from the spatial grid: candidates come from the cells the radio
+  /// disk touches, then the exact RadioModel::linked predicate filters them.
   std::vector<NodeId> neighborsOf(NodeId id) const;
+
+  /// The active set (sorted ascending): nodes that are neither battery-dead
+  /// nor fault-crashed. The round loop steps exactly these — corpses cost
+  /// zero node-steps and zero RNG draws.
+  const std::vector<NodeId>& activeNodeIds() const {
+    return block_.activeIds();
+  }
+
+  /// The struct-of-arrays hot state (positions, flags, spatial grid) the
+  /// kernel sweeps. Exposed read-only for diagnostics and tests.
+  const sim::NodeStateBlock& hotState() const { return block_; }
 
   /// True if every alive node can reach some gateway over alive nodes.
   bool allSensorsCovered() const;
@@ -147,10 +161,15 @@ class SensorNetwork final : public MediumHost {
   std::unique_ptr<RadioModel> radio_;
   SensorNetworkParams params_;
   Rng rng_;
+  /// Hot per-node state (position, liveness flags, grid, active set) in
+  /// struct-of-arrays layout; nodes_ entries are views over it.
+  sim::NodeStateBlock block_;
+  std::vector<Battery> batteries_;
   std::unique_ptr<Medium> medium_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<NodeId> sensorIds_;
   std::vector<NodeId> gatewayIds_;
+  mutable std::vector<std::uint32_t> queryScratch_;
   TrafficStats stats_;
   obs::PacketTracer tracer_;
   std::uint64_t uidCounter_ = 0;

@@ -27,6 +27,7 @@ const char* toString(PerfCounter counter) {
     case PerfCounter::kRngDraws: return "rng-draws";
     case PerfCounter::kRouteMutations: return "route-mutations";
     case PerfCounter::kObserverDispatches: return "observer-dispatches";
+    case PerfCounter::kGridQueries: return "grid-queries";
   }
   return "unknown";
 }
@@ -43,6 +44,7 @@ const char* metricName(PerfCounter counter) {
     case PerfCounter::kRngDraws: return "rng_draws";
     case PerfCounter::kRouteMutations: return "route_mutations";
     case PerfCounter::kObserverDispatches: return "observer_dispatches";
+    case PerfCounter::kGridQueries: return "grid_queries";
   }
   return "unknown";
 }

@@ -21,13 +21,16 @@ enum class PerfCounter : std::uint8_t {
   kFramesReceived,      ///< frames delivered to a node's receive handler
   kMacBackoffs,         ///< CSMA backoff iterations (channel sensed busy)
   kNeighborScans,       ///< neighborsOf range queries
-  kPairsExamined,       ///< node pairs checked by O(n²) range scans — the
-                        ///< cost ROADMAP item 1's spatial index removes
+  kPairsExamined,       ///< grid candidates examined by range queries —
+                        ///< O(n·k) since the spatial index replaced the
+                        ///< all-pairs scans (ROADMAP item 1)
   kRngDraws,            ///< hot-path RNG draws (channel, jitter, backoff)
   kRouteMutations,      ///< MLR place-table entry writes
   kObserverDispatches,  ///< ObserverMux handler invocations
+  kGridQueries,         ///< SpatialGrid candidate queries (medium delivery
+                        ///< and neighborsOf)
 };
-inline constexpr std::size_t kPerfCounterCount = 10;
+inline constexpr std::size_t kPerfCounterCount = 11;
 
 /// Human label, e.g. "frames-transmitted" (table rows).
 const char* toString(PerfCounter counter);

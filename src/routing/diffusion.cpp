@@ -50,6 +50,18 @@ void DiffusionRouting::onRoundStart(std::uint32_t /*round*/) {
   floodInterest();
 }
 
+void DiffusionRouting::onTopologyChanged() {
+  // Recovery from a crash (the active-set scheduler skipped the soft-state
+  // refresh while this node was down): gradients learned before the crash
+  // point at a topology that no longer exists. Drop them; the next interest
+  // epoch rebuilds.
+  if (isSink()) return;
+  gradients_.clear();
+  bestGradientHops_ = 0xffff;
+  exploratoryFrom_.clear();
+  reinforcedNext_.reset();
+}
+
 void DiffusionRouting::floodInterest() {
   ++epoch_;
   CostBeaconMsg msg;

@@ -34,6 +34,7 @@ class DiffusionRouting final : public RoutingProtocol {
   std::string name() const override { return "diffusion"; }
   void start() override;
   void onRoundStart(std::uint32_t round) override;
+  void onTopologyChanged() override;
   void onReceive(const net::Packet& packet, net::NodeId from) override;
   void originate(Bytes appPayload) override;
 

@@ -29,6 +29,12 @@ void MlrRouting::onRoundStart(std::uint32_t round) {
   round_ = round;
   pendingAcks_.clear();
   if (isGateway()) {
+    // The active-set scheduler skips this node entirely while it is
+    // crashed, so after recovery the load counter may still hold the count
+    // from the pre-crash round. A round-number gap means exactly that:
+    // discard the stale count instead of advising on it.
+    if (round != lastGatewayRound_ + 1) dataReceivedThisRound_ = 0;
+    lastGatewayRound_ = round;
     maybeAdviseLoad(round);
     dataReceivedThisRound_ = 0;
   }

@@ -174,6 +174,10 @@ class MlrRouting : public RoutingProtocol {
 
   // §4.3 load balance.
   std::uint32_t dataReceivedThisRound_ = 0;         ///< gateway side
+  /// Last round this gateway was stepped; a gap (crash + recovery under the
+  /// active-set scheduler) invalidates dataReceivedThisRound_. The all-ones
+  /// initial value makes round 0 read as "no gap" (wraps to 0).
+  std::uint32_t lastGatewayRound_ = ~std::uint32_t{0};
   struct Advisory {
     std::uint32_t round = 0;
     std::uint16_t loadPermille = 0;

@@ -112,8 +112,14 @@ void ProtocolStack::startAll() {
 }
 
 void ProtocolStack::beginRound(std::uint32_t round) {
-  WMSN_PERF(kNodeSteps, protocols_.size());
-  for (auto& p : protocols_) p->onRoundStart(round);
+  // Active-set sweep: battery-dead and fault-crashed nodes are skipped
+  // outright, not stepped-then-filtered — a corpse contributes zero
+  // node-steps and zero RNG draws. Sleeping nodes still step (§4.4
+  // duty-cycled sensing). The set is sorted ascending, so surviving nodes
+  // run in exactly the order the all-nodes loop gave them.
+  const auto& active = network_.activeNodeIds();
+  WMSN_PERF(kNodeSteps, active.size());
+  for (const net::NodeId id : active) protocols_[id]->onRoundStart(round);
 }
 
 void ProtocolStack::topologyChangedAll() {

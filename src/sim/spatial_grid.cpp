@@ -1,0 +1,69 @@
+#include "sim/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace wmsn::sim {
+
+namespace {
+// Centre of the signed cell-coordinate space: positions may be (slightly)
+// negative, so cell coordinates are biased into unsigned range before
+// packing two of them into one 64-bit key.
+constexpr std::int64_t kBias = std::int64_t{1} << 31;
+}  // namespace
+
+SpatialGrid::SpatialGrid(double cellSize) : cellSize_(cellSize) {
+  WMSN_REQUIRE_MSG(cellSize > 0.0, "grid cell size must be positive");
+}
+
+std::int64_t SpatialGrid::coord(double v) const {
+  return static_cast<std::int64_t>(std::floor(v / cellSize_));
+}
+
+std::uint64_t SpatialGrid::key(std::int64_t qx, std::int64_t qy) {
+  WMSN_REQUIRE(qx > -kBias && qx < kBias && qy > -kBias && qy < kBias);
+  return (static_cast<std::uint64_t>(qx + kBias) << 32) |
+         static_cast<std::uint64_t>(qy + kBias);
+}
+
+void SpatialGrid::insert(std::uint32_t id, double x, double y) {
+  WMSN_REQUIRE_MSG(id == cellKeyOf_.size(), "grid ids must be dense");
+  const std::uint64_t k = key(coord(x), coord(y));
+  cells_[k].push_back(id);
+  cellKeyOf_.push_back(k);
+}
+
+void SpatialGrid::move(std::uint32_t id, double x, double y) {
+  WMSN_REQUIRE(id < cellKeyOf_.size());
+  const std::uint64_t k = key(coord(x), coord(y));
+  const std::uint64_t old = cellKeyOf_[id];
+  if (k == old) return;
+  auto& bucket = cells_[old];
+  bucket.erase(std::find(bucket.begin(), bucket.end(), id));
+  if (bucket.empty()) cells_.erase(old);
+  cells_[k].push_back(id);
+  cellKeyOf_[id] = k;
+}
+
+void SpatialGrid::query(double cx, double cy, double radius,
+                        std::vector<std::uint32_t>& out) const {
+  out.clear();
+  const std::int64_t x0 = coord(cx - radius);
+  const std::int64_t x1 = coord(cx + radius);
+  const std::int64_t y0 = coord(cy - radius);
+  const std::int64_t y1 = coord(cy + radius);
+  for (std::int64_t qx = x0; qx <= x1; ++qx) {
+    for (std::int64_t qy = y0; qy <= y1; ++qy) {
+      const auto it = cells_.find(key(qx, qy));
+      if (it == cells_.end()) continue;
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  // Cell buckets are unordered after moves; the ascending sort restores the
+  // visit order the deterministic draw sites require.
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace wmsn::sim

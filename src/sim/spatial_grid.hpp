@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace wmsn::sim {
+
+/// Uniform-cell spatial hash over node positions — the neighbor index that
+/// replaces the kernel's former O(n²) range scans (ROADMAP item 1). Nodes
+/// are bucketed by floor(position / cellSize); a radius-r query visits only
+/// the cells whose bounding boxes intersect the disk, so per-query cost is
+/// O(k) in the local population instead of O(n) in the network size.
+///
+/// The index returns a *superset*: every node in an intersecting cell, not
+/// just the ones inside the disk. Callers apply the exact range predicate
+/// (RadioModel::linked) themselves — keeping the one true link definition in
+/// the radio model, with the grid as a pure candidate pre-filter. With
+/// cellSize equal to the radio's nominal range the query touches at most a
+/// 3×3 cell block, bounding candidates at ~9× the expected neighbor count.
+///
+/// Determinism: query() sorts candidates ascending by id before returning,
+/// so callers visit nodes in exactly the order the old 0..n-1 scan did —
+/// the property the byte-identity gates (same RNG draw sites, same frame
+/// delivery order) depend on.
+class SpatialGrid {
+ public:
+  explicit SpatialGrid(double cellSize);
+
+  /// Number of indexed nodes.
+  std::size_t size() const { return cellKeyOf_.size(); }
+  double cellSize() const { return cellSize_; }
+
+  /// Registers node `id` at (x, y). Ids must arrive densely: id == size().
+  void insert(std::uint32_t id, double x, double y);
+
+  /// Re-buckets `id` after a position change (gateway moves, §5.1). A move
+  /// within the same cell is free.
+  void move(std::uint32_t id, double x, double y);
+
+  /// Appends to `out` (cleared first) every id whose cell intersects the
+  /// axis-aligned bounding square of the disk centred at (cx, cy) with
+  /// radius `radius`, sorted ascending. Superset semantics — see above.
+  void query(double cx, double cy, double radius,
+             std::vector<std::uint32_t>& out) const;
+
+ private:
+  std::int64_t coord(double v) const;
+  static std::uint64_t key(std::int64_t qx, std::int64_t qy);
+
+  double cellSize_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> cells_;
+  std::vector<std::uint64_t> cellKeyOf_;  ///< id → current cell key
+};
+
+}  // namespace wmsn::sim

@@ -1,0 +1,243 @@
+// Spatial-grid neighbor index + active-set kernel (docs/KERNEL.md).
+//
+// The grid is a candidate pre-filter: its queries must return a superset of
+// the exact in-range set, sorted ascending, and stay correct through node
+// moves. The active set must make dead/failed nodes cost literally nothing:
+// zero node-steps, zero RNG draws. Both properties are load-bearing for the
+// byte-identity gates, so they get brute-force oracles here.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/radio.hpp"
+#include "net/sensor_network.hpp"
+#include "obs/perf_stats.hpp"
+#include "routing/protocol.hpp"
+#include "sim/node_state.hpp"
+#include "sim/spatial_grid.hpp"
+#include "util/random.hpp"
+
+namespace wmsn {
+namespace {
+
+// --- SpatialGrid ------------------------------------------------------------
+
+TEST(SpatialGrid, FindsNodesOnCellBoundaries) {
+  sim::SpatialGrid grid(10.0);
+  grid.insert(0, 0.0, 0.0);    // exactly on a cell corner
+  grid.insert(1, 10.0, 0.0);   // on the boundary of the next cell
+  grid.insert(2, 20.0, 20.0);  // two cells away diagonally
+  grid.insert(3, -0.5, -0.5);  // negative coordinates, adjacent cell
+
+  std::vector<std::uint32_t> out;
+  grid.query(0.0, 0.0, 10.0, out);
+  // The bounding square [-10,10]² touches cells -1..1 in each axis, so
+  // nodes 0, 1 and 3 are candidates; node 2 sits in cell (2,2), outside.
+  EXPECT_TRUE(std::binary_search(out.begin(), out.end(), 0u));
+  EXPECT_TRUE(std::binary_search(out.begin(), out.end(), 1u));
+  EXPECT_TRUE(std::binary_search(out.begin(), out.end(), 3u));
+  EXPECT_FALSE(std::binary_search(out.begin(), out.end(), 2u));
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(SpatialGrid, QueryMatchesBruteForceOracleOnRandomTopologies) {
+  // The exact in-range set (distance <= r) computed two ways: grid
+  // candidates + exact filter vs a full O(n²) scan. Any node the grid
+  // misses breaks frame delivery; any duplicate breaks draw order.
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double range = rng.uniform(5.0, 40.0);
+    const double area = rng.uniform(50.0, 300.0);
+    sim::SpatialGrid grid(range);
+    std::vector<double> xs, ys;
+    const std::size_t n = 120;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      xs.push_back(rng.uniform(0.0, area));
+      ys.push_back(rng.uniform(0.0, area));
+      grid.insert(i, xs.back(), ys.back());
+    }
+    std::vector<std::uint32_t> candidates;
+    for (int q = 0; q < 20; ++q) {
+      const double cx = rng.uniform(-10.0, area + 10.0);
+      const double cy = rng.uniform(-10.0, area + 10.0);
+      grid.query(cx, cy, range, candidates);
+      EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+      EXPECT_TRUE(std::adjacent_find(candidates.begin(), candidates.end()) ==
+                  candidates.end());
+
+      std::vector<std::uint32_t> viaGrid;
+      for (const std::uint32_t id : candidates) {
+        const double dx = xs[id] - cx, dy = ys[id] - cy;
+        if (dx * dx + dy * dy <= range * range) viaGrid.push_back(id);
+      }
+      std::vector<std::uint32_t> viaBrute;
+      for (std::uint32_t id = 0; id < n; ++id) {
+        const double dx = xs[id] - cx, dy = ys[id] - cy;
+        if (dx * dx + dy * dy <= range * range) viaBrute.push_back(id);
+      }
+      EXPECT_EQ(viaGrid, viaBrute);
+    }
+  }
+}
+
+TEST(SpatialGrid, ExactRadioRangeEdgeIsInclusive) {
+  // distance == range is linked (UnitDiskRadio uses <=); the grid must not
+  // lose the node that sits exactly on the disk edge, even when the edge
+  // coincides with a cell boundary.
+  sim::SpatialGrid grid(30.0);
+  grid.insert(0, 0.0, 0.0);
+  grid.insert(1, 30.0, 0.0);  // exactly at range, on the cell boundary
+  std::vector<std::uint32_t> out;
+  grid.query(0.0, 0.0, 30.0, out);
+  ASSERT_TRUE(std::binary_search(out.begin(), out.end(), 1u));
+  net::UnitDiskRadio radio(30.0);
+  EXPECT_TRUE(radio.linked({0.0, 0.0}, {30.0, 0.0}));
+}
+
+TEST(SpatialGrid, MoveRebucketsAcrossCells) {
+  sim::SpatialGrid grid(10.0);
+  grid.insert(0, 5.0, 5.0);
+  grid.insert(1, 5.0, 6.0);
+
+  std::vector<std::uint32_t> out;
+  grid.move(0, 95.0, 95.0);  // far cell
+  grid.query(5.0, 5.0, 10.0, out);
+  EXPECT_FALSE(std::binary_search(out.begin(), out.end(), 0u));
+  EXPECT_TRUE(std::binary_search(out.begin(), out.end(), 1u));
+  grid.query(95.0, 95.0, 10.0, out);
+  EXPECT_TRUE(std::binary_search(out.begin(), out.end(), 0u));
+
+  grid.move(0, 96.0, 96.0);  // same cell: no rebucket, still found
+  grid.query(95.0, 95.0, 10.0, out);
+  EXPECT_TRUE(std::binary_search(out.begin(), out.end(), 0u));
+
+  grid.move(0, 5.5, 5.5);  // and back
+  grid.query(5.0, 5.0, 10.0, out);
+  EXPECT_TRUE(std::binary_search(out.begin(), out.end(), 0u));
+}
+
+// --- NodeStateBlock ---------------------------------------------------------
+
+TEST(NodeStateBlock, ActiveSetTracksFailKillRecover) {
+  sim::NodeStateBlock block(10.0);
+  for (int i = 0; i < 5; ++i) block.add(static_cast<double>(i), 0.0);
+  EXPECT_EQ(block.activeIds(), (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+
+  block.setFailed(2, true);  // crash: reversible
+  block.setDead(4);          // battery death: permanent
+  EXPECT_EQ(block.activeIds(), (std::vector<std::uint32_t>{0, 1, 3}));
+  EXPECT_FALSE(block.alive(2));
+  EXPECT_FALSE(block.alive(4));
+
+  block.setFailed(2, false);  // recovery rejoins the sweep
+  EXPECT_EQ(block.activeIds(), (std::vector<std::uint32_t>{0, 1, 2, 3}));
+
+  // Sleeping nodes stay active (they still step, §4.4) but stop listening.
+  block.setSleeping(1, true);
+  EXPECT_EQ(block.activeIds(), (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(block.alive(1));
+  EXPECT_FALSE(block.listening(1));
+}
+
+// --- neighborsOf vs brute force --------------------------------------------
+
+TEST(SensorNetwork, NeighborsOfMatchesBruteForce) {
+  sim::Simulator simulator;
+  net::SensorNetworkParams params;
+  params.mac = net::MacKind::kIdeal;
+  net::SensorNetwork network(simulator,
+                             std::make_unique<net::UnitDiskRadio>(25.0),
+                             params);
+  Rng rng(7);
+  for (int i = 0; i < 80; ++i)
+    network.addSensor({rng.uniform(0.0, 120.0), rng.uniform(0.0, 120.0)});
+  network.addGateway({60.0, 60.0});
+  network.node(3).kill(sim::Time::zero());
+  network.node(9).setFailed(true);
+
+  const net::NodeId count = static_cast<net::NodeId>(network.size());
+  for (net::NodeId id = 0; id < count; ++id) {
+    std::vector<net::NodeId> brute;
+    for (net::NodeId other = 0; other < count; ++other) {
+      if (other == id || !network.node(other).alive()) continue;
+      if (network.radio().linked(network.node(id).position(),
+                                 network.node(other).position()))
+        brute.push_back(other);
+    }
+    EXPECT_EQ(network.neighborsOf(id), brute) << "node " << id;
+  }
+}
+
+// --- active-set round stepping ----------------------------------------------
+
+// Counts onRoundStart invocations and draws from the node's RNG stream on
+// every step — so "zero calls" proves both zero node-steps and zero draws
+// for the skipped node.
+class CountingProtocol final : public routing::RoutingProtocol {
+ public:
+  CountingProtocol(net::SensorNetwork& network, net::NodeId self,
+                   const routing::NetworkKnowledge& knowledge,
+                   std::vector<int>& calls)
+      : RoutingProtocol(network, self, knowledge), calls_(calls) {}
+
+  std::string name() const override { return "counting"; }
+  void onRoundStart(std::uint32_t) override {
+    ++calls_[self()];
+    rng().uniformInt(0, 1000);  // a skipped node must not advance its stream
+  }
+  void onReceive(const net::Packet&, net::NodeId) override {}
+  void originate(Bytes) override {}
+
+ private:
+  std::vector<int>& calls_;
+};
+
+TEST(ProtocolStack, ActiveSetSkipsDeadAndFailedEntirely) {
+  sim::Simulator simulator;
+  net::SensorNetworkParams params;
+  params.mac = net::MacKind::kIdeal;
+  net::SensorNetwork network(simulator,
+                             std::make_unique<net::UnitDiskRadio>(25.0),
+                             params);
+  for (int i = 0; i < 6; ++i)
+    network.addSensor({static_cast<double>(10 * i), 0.0});
+  routing::NetworkKnowledge knowledge;
+  knowledge.gatewayIds.push_back(network.addGateway({0.0, 10.0}));
+
+  std::vector<int> calls(network.size(), 0);
+  routing::ProtocolStack stack(
+      network, knowledge,
+      [&calls](net::SensorNetwork& n, net::NodeId id,
+               const routing::NetworkKnowledge& k) {
+        return std::make_unique<CountingProtocol>(n, id, k, calls);
+      });
+
+  network.node(1).setFailed(true);             // crashed
+  network.node(4).kill(sim::Time::zero());     // battery-dead
+
+  obs::PerfStats perf;
+  {
+    obs::PerfStats::Activation counting(&perf);
+    stack.beginRound(0);
+    stack.beginRound(1);
+  }
+
+  EXPECT_EQ(calls[0], 2);
+  EXPECT_EQ(calls[1], 0) << "failed node was stepped";
+  EXPECT_EQ(calls[4], 0) << "dead node was stepped";
+  EXPECT_EQ(calls[5], 2);
+  // node-steps counts only active nodes: (7 total - 2 down) × 2 rounds.
+  // Each step drew exactly once from its node's stream, so zero calls on
+  // nodes 1 and 4 is also zero RNG draws for them.
+  EXPECT_EQ(perf.value(obs::PerfCounter::kNodeSteps), 10u);
+
+  // Recovery rejoins the sweep on the next boundary.
+  network.node(1).setFailed(false);
+  stack.beginRound(2);
+  EXPECT_EQ(calls[1], 1);
+}
+
+}  // namespace
+}  // namespace wmsn
