@@ -51,7 +51,8 @@ if [ ! -f "$builddir/compile_commands.json" ]; then
 fi
 
 mapfile -t sources < <(find "$repo/src" "$repo/tests" "$repo/bench" \
-                            "$repo/examples" -name '*.cpp' | sort)
+                            "$repo/examples" -name '*.cpp' \
+                            -not -path '*/golden/*' | sort)
 echo "check_tidy: $tidy over ${#sources[@]} translation units"
 
 status=0

@@ -1,361 +1,41 @@
 #!/usr/bin/env python3
-"""wmsn-lint — project-specific static checker for the wmsn tree.
+"""wmsn-lint — DEPRECATED shim over scripts/wmsn_analyze.py.
 
-Enforces the repo-wide invariants that generic tooling cannot know about:
+The legacy lint rules (rng-discipline, float-equality, observer-contract,
+include-guard, banned-header, process-discipline, trace-discipline,
+perf-discipline, rangescan-discipline) now live in the determinism auditor's
+rule pack (tools/analyze/rules.py), alongside the R1-R6 ordering/RNG rules.
+This entry point keeps the historical CLI working — same flags, same exit
+codes, now with --json — but runs only the legacy "lint" rule group.
 
-  rng-discipline    All simulation randomness flows through wmsn::Rng
-                    (src/util/random.*). std::rand, srand, random_device,
-                    mt19937, time(nullptr)/time(NULL) and wall-clock
-                    system_clock anywhere else silently break the
-                    bit-for-bit replay guarantee that the repeat-mode and
-                    fault-seed determinism tests rely on.
-                    (steady_clock is fine: it only feeds profiling.)
+Run the full auditor instead:
 
-  float-equality    Raw == / != against floating-point literals compares
-                    metrics for exact equality; use a tolerance or an
-                    ordered comparison. GTest EXPECT_*/ASSERT_* lines are
-                    exempt — determinism tests intentionally compare exact
-                    replayed values.
+    python3 scripts/wmsn_analyze.py --root . [--json] [--list-rules]
 
-  observer-contract Observer fan-out goes through obs::ObserverMux
-                    (src/obs/mux.hpp): consumers attach under a unique
-                    string-literal name. Single-slot std::function observer
-                    members and mux attaches whose name is not a literal
-                    defeat the double-attach check the contract documents.
-
-  include-guard     Every header starts with #pragma once.
-
-  banned-header     <random> and <ctime> are banned outside
-                    src/util/random.* — their only legitimate use is inside
-                    the deterministic RNG façade.
-
-  process-discipline
-                    fork/exec/system/popen/posix_spawn are confined to
-                    src/campaign/ — the campaign worker pool owns process
-                    creation (crash isolation, fd hygiene, reaping). A
-                    stray fork elsewhere duplicates simulator state and
-                    sanitizer runtimes in ways the pool is built to
-                    contain. (Member calls like rng.fork() are fine.)
-
-  trace-discipline  Hot-path trace emission goes through the WMSN_TRACE
-                    macro (src/obs/packet_trace.hpp): it null-guards the
-                    tracer and keeps every emission site greppable. Direct
-                    emitSpan()/onEvent() calls outside src/obs/ bypass the
-                    guard and the disabled-tracing zero-cost contract.
-                    (Tests may drive sinks directly.)
-
-  perf-discipline   Hot-path work-counter increments go through the
-                    WMSN_PERF macro (src/obs/perf_stats.hpp): it
-                    null-guards the active ledger so disabled counters
-                    cost one thread-local load. A direct
-                    PerfStats::add(PerfCounter...) outside src/obs/
-                    bypasses the guard and crashes when no ledger is
-                    active. (Tests may drive ledgers directly.)
-
-  rangescan-discipline
-                    Radio-range membership tests (RadioModel::linked)
-                    outside the kernel layers re-introduce the all-pairs
-                    O(n²) position scans the sim::SpatialGrid deleted
-                    (docs/KERNEL.md). Range queries go through
-                    SensorNetwork::neighborsOf or the grid; only src/sim/,
-                    src/net/ (the radio model and its grid-fed callers)
-                    and src/mesh/ (its own small topology) may call
-                    linked() directly. Tests/benches compare against
-                    brute force by design.
-
-Suppress a finding with an inline comment on the offending line (or the
-line directly above):   // wmsn-lint: allow(<rule-id>)
-
-usage: wmsn_lint.py [--root DIR] [--list-rules]
-exit status: 0 clean, 1 findings, 2 usage error.
+This shim will be removed once nothing invokes it; new callers (CI rows,
+editor integrations) should target wmsn_analyze.py directly.
 """
 
-import argparse
 import os
-import re
 import sys
 
-SCAN_DIRS = ("src", "tests", "bench", "examples")
-EXTENSIONS = (".cpp", ".hpp", ".h")
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO, "tools", "analyze"))
 
-# Files exempt from the RNG / banned-header discipline: the deterministic
-# RNG façade itself.
-RNG_EXEMPT = re.compile(r"src[/\\]util[/\\]random\.(cpp|hpp)$")
-
-ALLOW = re.compile(r"wmsn-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
-
-RULES = {
-    "rng-discipline": "non-deterministic randomness/clock outside src/util/random.*",
-    "float-equality": "raw ==/!= on floating-point values",
-    "observer-contract": "observer wiring outside the ObserverMux contract",
-    "include-guard": "header missing #pragma once",
-    "banned-header": "<random>/<ctime> outside src/util/random.*",
-    "process-discipline": "fork/exec/system/popen outside src/campaign/",
-    "trace-discipline": "direct emitSpan/onEvent outside src/obs/ (use WMSN_TRACE)",
-    "perf-discipline": "direct PerfCounter add outside src/obs/ (use WMSN_PERF)",
-    "rangescan-discipline":
-        "direct linked() range test outside src/sim|net|mesh (use "
-        "neighborsOf / the spatial grid)",
-}
-
-RNG_TOKENS = [
-    (re.compile(r"\bstd::rand\b|\brand\s*\(\s*\)"), "std::rand"),
-    (re.compile(r"\bsrand\s*\("), "srand"),
-    (re.compile(r"\brandom_device\b"), "std::random_device"),
-    (re.compile(r"\bmt19937(_64)?\b"), "std::mt19937"),
-    (re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)"), "time(nullptr)"),
-    (re.compile(r"\bsystem_clock\b"), "wall-clock system_clock"),
-    (re.compile(r"\bhigh_resolution_clock\b"), "high_resolution_clock"),
-]
-
-FLOAT_EQ = re.compile(
-    r"(?<![=!<>+\-*/&|^])(==|!=)\s*[+-]?\d+\.\d*(?![\w.])"
-    r"|[+-]?\d+\.\d*\s*(==|!=)(?![=])"
-)
-
-GTEST_LINE = re.compile(r"\b(EXPECT|ASSERT)_[A-Z_]+\s*\(")
-
-# A mux attach: <something>bservers_.attach( or the documented wrapper
-# entry points. The first argument must be a string literal so name
-# uniqueness stays auditable at the call site.
-MUX_ATTACH = re.compile(
-    r"\b\w*[oO]bservers?_\.attach\s*\(\s*(?P<arg>[^),]*)"
-)
-STRING_LITERAL = re.compile(r'^\s*"')
-
-# The pre-mux single-slot pattern: a std::function member whose name ends
-# in Observer_/observer_. The mux replaced these; re-introducing one brings
-# back silent observer eviction.
-SINGLE_SLOT = re.compile(r"std::function\s*<[^;]*>\s*\w*[oO]bserver_\s*[;{=]")
-
-BANNED_INCLUDE = re.compile(r'#\s*include\s*<(random|ctime)>')
-
-# Process creation calls. The lookbehind excludes member calls (rng.fork(),
-# obj->fork()) and identifiers that merely end in a banned name; a plain or
-# globally-qualified (::fork) call matches. The Rng façade is exempt: its
-# stream-splitting member is *named* fork and its declaration line would
-# otherwise match.
-PROCESS_EXEMPT = re.compile(
-    r"src[/\\]campaign[/\\]|src[/\\]util[/\\]random\.(cpp|hpp)$")
-PROCESS_CALL = re.compile(
-    r"(?<![\w.>])(?:::)?"
-    r"(fork|vfork|execl|execle|execlp|execv|execve|execvp|execvpe"
-    r"|posix_spawnp?|popen|system)\s*\(")
-
-PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
-
-# Trace emission outside the obs layer must ride the WMSN_TRACE macro so
-# the null-tracer guard (and the "tracing off costs nothing" contract) is
-# uniform. src/obs/ owns the primitives; tests drive sinks directly by
-# design.
-TRACE_EXEMPT = re.compile(r"src[/\\]obs[/\\]|tests[/\\]")
-TRACE_CALL = re.compile(r"\b(emitSpan|onEvent)\s*\(")
-
-# Perf-counter increments outside the obs layer must ride the WMSN_PERF
-# macro so the null-ledger guard (and the "counters off costs one TLS
-# load" contract) is uniform. Matches add(PerfCounter::...) calls, not
-# value() reads; src/obs/ owns the primitives, tests drive ledgers
-# directly by design.
-PERF_EXEMPT = re.compile(r"src[/\\]obs[/\\]|tests[/\\]")
-PERF_CALL = re.compile(
-    r"\badd\s*\(\s*(::\s*)?(wmsn\s*::\s*)?(obs\s*::\s*)?PerfCounter\b")
-
-# Radio-range membership tests outside the kernel layers re-grow the O(n²)
-# wall the spatial grid removed: every such loop is an all-pairs position
-# scan in disguise. The radio model (src/net/) and the grid-backed kernel
-# (src/sim/) own the predicate; src/mesh/ runs its own small topology;
-# tests and benches compare against brute force by design.
-RANGESCAN_EXEMPT = re.compile(
-    r"src[/\\](sim|net|mesh)[/\\]|tests[/\\]|bench[/\\]")
-RANGESCAN_CALL = re.compile(r"[.>]\s*linked\s*\(")
+import driver  # noqa: E402
 
 
-def allowed(rule, line, prev_line):
-    for text in (line, prev_line):
-        m = ALLOW.search(text or "")
-        if m and rule in [r.strip() for r in m.group(1).split(",")]:
-            return True
-    return False
-
-
-def strip_comment(line):
-    """Drop // comments and the contents of string literals (crude but
-    sufficient: the tree bans multi-line relevant constructs)."""
-    out = []
-    i, n = 0, len(line)
-    in_str = in_chr = False
-    while i < n:
-        c = line[i]
-        if in_str:
-            if c == "\\":
-                i += 2
-                continue
-            if c == '"':
-                in_str = False
-                out.append('"')
-            i += 1
-            continue
-        if in_chr:
-            if c == "\\":
-                i += 2
-                continue
-            if c == "'":
-                in_chr = False
-                out.append("'")
-            i += 1
-            continue
-        if c == '"':
-            in_str = True
-            out.append('"')
-            i += 1
-            continue
-        if c == "'":
-            in_chr = True
-            out.append("'")
-            i += 1
-            continue
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        out.append(c)
-        i += 1
-    return "".join(out)
-
-
-def lint_file(path, rel, findings):
-    try:
-        with open(path, encoding="utf-8", errors="replace") as f:
-            lines = f.read().splitlines()
-    except OSError as e:
-        findings.append((rel, 0, "io", str(e)))
-        return
-
-    rng_exempt = bool(RNG_EXEMPT.search(rel))
-    process_exempt = bool(PROCESS_EXEMPT.search(rel))
-    trace_exempt = bool(TRACE_EXEMPT.search(rel))
-    perf_exempt = bool(PERF_EXEMPT.search(rel))
-    rangescan_exempt = bool(RANGESCAN_EXEMPT.search(rel))
-    is_header = rel.endswith((".hpp", ".h"))
-
-    if is_header:
-        head = [l for l in lines[:10] if l.strip()]
-        if not any(PRAGMA_ONCE.match(l) for l in head):
-            findings.append((rel, 1, "include-guard",
-                             "header must start with #pragma once"))
-
-    prev = ""
-    for i, raw in enumerate(lines, start=1):
-        code = strip_comment(raw)
-
-        if not rng_exempt:
-            for pattern, label in RNG_TOKENS:
-                if pattern.search(code) and not allowed("rng-discipline", raw, prev):
-                    findings.append(
-                        (rel, i, "rng-discipline",
-                         f"{label} breaks deterministic replay; use wmsn::Rng "
-                         "(src/util/random.hpp)"))
-            if BANNED_INCLUDE.search(code) and not allowed("banned-header", raw, prev):
-                findings.append(
-                    (rel, i, "banned-header",
-                     "<random>/<ctime> only inside src/util/random.*"))
-
-        if (not process_exempt and PROCESS_CALL.search(code)
-                and not allowed("process-discipline", raw, prev)):
-            findings.append(
-                (rel, i, "process-discipline",
-                 "process creation is confined to src/campaign/ (the "
-                 "campaign worker pool owns fork/exec hygiene)"))
-
-        if (not trace_exempt and TRACE_CALL.search(code)
-                and not allowed("trace-discipline", raw, prev)):
-            findings.append(
-                (rel, i, "trace-discipline",
-                 "trace emission outside src/obs/ must go through the "
-                 "WMSN_TRACE macro (src/obs/packet_trace.hpp)"))
-
-        if (not perf_exempt and PERF_CALL.search(code)
-                and not allowed("perf-discipline", raw, prev)):
-            findings.append(
-                (rel, i, "perf-discipline",
-                 "perf-counter increments outside src/obs/ must go through "
-                 "the WMSN_PERF macro (src/obs/perf_stats.hpp)"))
-
-        if (not rangescan_exempt and RANGESCAN_CALL.search(code)
-                and not allowed("rangescan-discipline", raw, prev)):
-            findings.append(
-                (rel, i, "rangescan-discipline",
-                 "direct linked() range test re-grows the O(n²) all-pairs "
-                 "scan; query SensorNetwork::neighborsOf or the spatial grid "
-                 "(docs/KERNEL.md)"))
-
-        if (FLOAT_EQ.search(code) and not GTEST_LINE.search(code)
-                and not allowed("float-equality", raw, prev)):
-            findings.append(
-                (rel, i, "float-equality",
-                 "exact ==/!= on a floating-point literal; compare with a "
-                 "tolerance or an ordered test"))
-
-        m = MUX_ATTACH.search(code)
-        if m and not allowed("observer-contract", raw, prev):
-            arg = m.group("arg").strip()
-            if not arg and i < len(lines):
-                # Call spans lines; the name is the first token of the next.
-                arg = strip_comment(lines[i]).strip()
-            if not STRING_LITERAL.match(arg):
-                findings.append(
-                    (rel, i, "observer-contract",
-                     "ObserverMux::attach needs a string-literal name at the "
-                     "call site (see src/obs/mux.hpp)"))
-
-        if (SINGLE_SLOT.search(code) and "mux.hpp" not in rel
-                and not allowed("observer-contract", raw, prev)):
-            findings.append(
-                (rel, i, "observer-contract",
-                 "single-slot std::function observer member; fan out through "
-                 "obs::ObserverMux instead (see src/obs/mux.hpp)"))
-
-        prev = raw
-
-
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--root", default=None,
-                        help="repo root (default: the linter's grandparent dir)")
-    parser.add_argument("--list-rules", action="store_true")
-    args = parser.parse_args()
-
-    if args.list_rules:
-        for rule, desc in RULES.items():
-            print(f"{rule:18} {desc}")
-        return 0
-
-    root = args.root or os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__)))
-    if not os.path.isdir(root):
-        print(f"wmsn-lint: no such directory: {root}", file=sys.stderr)
-        return 2
-
-    findings = []
-    scanned = 0
-    for sub in SCAN_DIRS:
-        base = os.path.join(root, sub)
-        if not os.path.isdir(base):
-            continue
-        for dirpath, dirnames, filenames in os.walk(base):
-            dirnames[:] = [d for d in dirnames if not d.startswith("build")]
-            for name in sorted(filenames):
-                if name.endswith(EXTENSIONS):
-                    scanned += 1
-                    path = os.path.join(dirpath, name)
-                    lint_file(path, os.path.relpath(path, root), findings)
-
-    for rel, line, rule, msg in findings:
-        print(f"{rel}:{line}: [{rule}] {msg}")
-    if findings:
-        print(f"wmsn-lint: {len(findings)} finding(s) in {scanned} files",
-              file=sys.stderr)
-        return 1
-    print(f"wmsn-lint: clean ({scanned} files)")
-    return 0
+def main(argv=None):
+    args = list(argv) if argv is not None else sys.argv[1:]
+    return driver.main(
+        args + ["--rules", "lint"],
+        label="wmsn-lint",
+        deprecation_note=(
+            "note: wmsn_lint.py is a deprecated shim; it runs only the "
+            "legacy lint rules. Use scripts/wmsn_analyze.py for the full "
+            "determinism rule pack."
+        ),
+    )
 
 
 if __name__ == "__main__":

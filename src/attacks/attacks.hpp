@@ -25,6 +25,9 @@ class SelectiveForwarder final : public Base, public AttackerIntrospection {
       : Base(std::forward<Args>(args)...), dropProbability_(dropProbability) {}
 
   void onReceive(const net::Packet& packet, net::NodeId from) override {
+    // wmsn:fixed-draws — the drop draw is gated only on packet fields,
+    // which are pure simulation state: a replay sees the same packets in
+    // the same order, so the attacker's stream stays aligned.
     if (packet.kind == net::PacketKind::kData &&
         packet.hopDst == this->self() &&
         this->rng().chance(dropProbability_)) {

@@ -166,6 +166,8 @@ std::unique_ptr<Scenario> assemble(const ScenarioConfig& config,
       Rng pick(cfg.seed ^ 0xa77ac);
       std::vector<net::NodeId> candidates =
           scenario->network->sensorIds();
+      // wmsn:fixed-draws — `pick` is a branch-local stream derived from
+      // the scenario seed; whether the branch runs is fixed by the config.
       pick.shuffle(candidates);
       candidates.resize(std::min(cfg.attackerCount, candidates.size()));
       plan.attackers = candidates;

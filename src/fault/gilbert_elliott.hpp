@@ -15,6 +15,9 @@ class GilbertElliottChain {
       : params_(params), rng_(seed) {}
 
   /// Advances the chain one frame and returns true when that frame is lost.
+  // wmsn:fixed-draws — exactly two draws per step() on every path: one
+  // state-transition Bernoulli (whichever of the two branches runs) and
+  // one loss draw. The chain state is pure simulation state.
   bool step() {
     if (bad_) {
       if (rng_.chance(params_.pBadToGood)) bad_ = false;

@@ -48,6 +48,9 @@ bool FaultInjector::apply(FaultEvent event, std::vector<FaultEvent>& out) {
   return true;
 }
 
+// wmsn:fixed-draws — the MTBF/MTTR Bernoulli blocks below are gated on the
+// round number and immutable plan constants only; one draw per node per
+// round either way, so the stream length is a function of topology alone.
 std::vector<FaultEvent> FaultInjector::actionsAtRound(std::uint32_t round) {
   std::vector<FaultEvent> out;
   for (const FaultEvent& e : plan_.events)

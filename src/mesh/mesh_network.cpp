@@ -72,6 +72,8 @@ void MeshNetwork::hop(MeshMessage msg, MeshNodeId at) {
     ++dropped_;  // partitioned from every base station
     return;
   }
+  // wmsn:fixed-draws — short-circuit on a config constant: either every
+  // forward draws once (loss model on) or none ever does (off).
   if (params_.linkLossProbability > 0.0 &&
       rng_.chance(params_.linkLossProbability)) {
     ++dropped_;

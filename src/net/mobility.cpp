@@ -72,6 +72,8 @@ void RotatingRandomSchedule::advanceTo(std::uint32_t round) {
     for (std::size_t p = 0; p < placeCount_; ++p)
       if (std::find(current_.begin(), current_.end(), p) == current_.end())
         free.push_back(p);
+    // wmsn:fixed-draws — the free-place set is a pure function of the
+    // schedule's own history, so the skip-when-full draw replays exactly.
     if (!free.empty()) current_[mover] = free[rng_.index(free.size())];
     history_.push_back(current_);
   }

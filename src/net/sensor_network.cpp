@@ -35,6 +35,8 @@ NodeId SensorNetwork::addNode(NodeKind kind, Point position) {
           : Battery::infinite());
   auto node =
       std::make_unique<Node>(id, kind, block_, batteries_, rng_.fork());
+  // wmsn:fixed-draws — the MAC kind is an immutable scenario constant, so
+  // every node forks the same number of child streams on replay.
   switch (params_.mac) {
     case MacKind::kIdeal:
       node->setMac(std::make_unique<IdealMac>(*medium_, id));

@@ -57,6 +57,8 @@ void LeachRouting::onRoundStart(std::uint32_t round) {
     ChAdvertMsg msg;
     msg.round = round;
     // Small random offset avoids all heads advertising in the same instant.
+    // wmsn:fixed-draws — electSelf() is the paper's threshold formula over
+    // round number and head history: pure simulation state.
     scheduleAfter(sim::Time::microseconds(rng().uniformInt(0, 100'000)),
                   [this, msg] {
                     sendBroadcast(makePacket(net::PacketKind::kChAdvert,
@@ -81,6 +83,8 @@ void LeachRouting::onReceive(const net::Packet& packet, net::NodeId from) {
         join.round = round_;
         // Join messages are bookkeeping; heads accept data without them, but
         // sending one is part of LEACH's (and our) energy budget.
+        // wmsn:fixed-draws — gated on the received advert and head
+        // distance, both replayed identically.
         scheduleAfter(sim::Time::microseconds(rng().uniformInt(0, 100'000)),
                       [this, join, head = *myHead_] {
                         sendUnicast(head,

@@ -46,6 +46,8 @@ std::vector<Arrival> PeriodicGenerator::arrivalsInWindow(
     for (sim::Time t{phase + k * interval_.us}; t < windowEnd;
          t += interval_, ++k) {
       sim::Time at = t;
+      // wmsn:fixed-draws — gated on a config constant; the beat hash is
+      // keyed by (sensor, beat index), not by stream position.
       if (jitter_.us > 0) {
         // Beat-indexed hash, not a stream draw: the k-th beat's slop is the
         // same however the rounds slice the timeline.
@@ -101,6 +103,8 @@ std::vector<Arrival> BurstGenerator::arrivalsInWindow(
   // the opposite edge — a fire line / vehicle column crossing the field.
   const int edge = static_cast<int>(rng_.index(4));
   net::Point start, target;
+  // wmsn:fixed-draws — every case draws exactly two uniforms, so the
+  // stream advances identically whichever edge the front enters from.
   switch (edge) {
     case 0:  // west -> east
       start = {0.0, rng_.uniform(0.0, height_)};
@@ -134,6 +138,8 @@ std::vector<Arrival> BurstGenerator::arrivalsInWindow(
     const double c =
         dx * dx + dy * dy - params_.radius * params_.radius;
     const double disc = b * b - 4.0 * a * c;
+    // wmsn:fixed-draws — coverage geometry is a pure function of the
+    // (deterministic) front line and sensor positions.
     if (disc >= 0.0) {
       const double sq = std::sqrt(disc);
       const double tIn = std::max(0.0, (-b - sq) / (2.0 * a));
@@ -146,6 +152,7 @@ std::vector<Arrival> BurstGenerator::arrivalsInWindow(
       }
     }
     // Background sensing keeps the rest of the field ticking.
+    // wmsn:fixed-draws — gated on a config constant only.
     if (params_.backgroundRate > 0.0) {
       double t = rng_.exponential(params_.backgroundRate);
       while (t < window) {

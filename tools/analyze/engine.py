@@ -1,0 +1,706 @@
+"""wmsn-analyze engine — tokenizer, scope tracking, include graph, ledger.
+
+The determinism auditor's core. Pure Python (stdlib only) so it runs
+everywhere `scripts/check_all.sh` does: no libclang, no pip installs.
+It does NOT try to be a C++ front end — it is a comment/string-aware
+tokenizer with brace/paren scope tracking, which is exactly enough to
+answer the questions the rule pack asks:
+
+  * "is this line inside a conditional, and which function owns it?"
+    (R4 draw-count divergence)
+  * "which identifiers in scope name an unordered container / a
+    floating-point accumulator / a deterministic Rng?"
+    (R1 / R5 / R4 receiver resolution)
+  * "which files can this output-path file reach through #include?"
+    (R1 path-class reachability)
+
+Suppressions live ONLY in a committed, audited ledger
+(tools/analyze/suppressions.toml) for the determinism rules R1-R5;
+the legacy wmsn-lint rules keep honouring the historical inline
+`// wmsn-lint: allow(<rule>)` comment so the absorbed rule set stays
+back-compatible. Every ledger entry must carry a justification and
+must match at least one finding — unmatched or malformed entries are
+findings themselves (`stale-suppression` / `invalid-suppression`), so
+the ledger can never silently rot.
+"""
+
+import os
+import re
+
+try:
+    import tomllib  # Python 3.11+
+except ImportError:  # pragma: no cover - exercised only on old images
+    tomllib = None
+
+LEDGER_RELPATH = "tools/analyze/suppressions.toml"
+MANIFEST_RELPATH = "tools/analyze/manifest.toml"
+FIXED_DRAWS_ANNOTATION = "wmsn:fixed-draws"
+MIN_REASON_LEN = 10
+
+ALLOW = re.compile(r"wmsn-lint:\s*allow\(([a-zA-Z0-9-]+(?:\s*,\s*[a-zA-Z0-9-]+)*)\)")
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+EXTENSIONS = (".cpp", ".hpp", ".h")
+
+
+class Finding:
+    """One rule violation at file:line (possibly suppressed)."""
+
+    __slots__ = ("rule", "file", "line", "message", "suppressed", "reason")
+
+    def __init__(self, rule, file, line, message):
+        self.rule = rule
+        self.file = file
+        self.line = line
+        self.message = message
+        self.suppressed = None  # None | "inline" | "ledger"
+        self.reason = None
+
+    def format(self):
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_json(self):
+        d = {"rule": self.rule, "file": self.file, "line": self.line,
+             "message": self.message}
+        if self.suppressed:
+            d["suppressed"] = self.suppressed
+            if self.reason:
+                d["reason"] = self.reason
+        return d
+
+
+class Scope:
+    """One brace scope: kind + the line its header started on."""
+
+    __slots__ = ("kind", "header_line")
+
+    def __init__(self, kind, header_line):
+        self.kind = kind
+        self.header_line = header_line
+
+
+# Scope kinds considered "conditionally executed" for R4: a draw inside
+# one of these executes on some runs of the enclosing function and not
+# others. Loops are deliberately NOT in this set: a fixed-trip loop
+# draws a fixed count, and data-dependent trip counts are the loop
+# *header's* problem (caught when the header itself draws conditionally).
+CONDITIONAL_KINDS = frozenset({"if", "else", "switch"})
+FUNCTION_KINDS = frozenset({"function", "lambda"})
+
+
+class LineInfo:
+    """Per-line scope context, computed once per file."""
+
+    __slots__ = ("conditional_header", "function_header", "in_loop")
+
+    def __init__(self):
+        self.conditional_header = None  # line no of innermost if/else/switch
+        self.function_header = None     # line no of enclosing function header
+        self.in_loop = False
+
+
+class SourceFile:
+    """A tokenized translation unit / header."""
+
+    def __init__(self, rel, raw_text):
+        self.rel = rel
+        self.is_header = rel.endswith((".hpp", ".h"))
+        self.raw_lines = raw_text.splitlines()
+        self.code_lines, self.comment_lines = strip_comments(raw_text)
+        self.line_info = track_scopes(self.code_lines)
+        self.includes = [
+            m.group(1)
+            for line in self.code_lines
+            for m in [re.search(r'#\s*include\s*"([^"]+)"', line)]
+            if m
+        ]
+
+    def code(self, i):
+        """Cleaned line i (1-based)."""
+        return self.code_lines[i - 1] if 0 < i <= len(self.code_lines) else ""
+
+    def comment(self, i):
+        return self.comment_lines[i - 1] if 0 < i <= len(self.comment_lines) else ""
+
+    def raw(self, i):
+        return self.raw_lines[i - 1] if 0 < i <= len(self.raw_lines) else ""
+
+    def info(self, i):
+        return self.line_info[i - 1] if 0 < i <= len(self.line_info) else LineInfo()
+
+    def inline_allowed(self, names, i):
+        """True if `// wmsn-lint: allow(...)` on line i or i-1 names one of
+        `names` (a rule id or any of its legacy aliases)."""
+        for j in (i, i - 1):
+            m = ALLOW.search(self.comment(j))
+            if m:
+                allowed = {r.strip() for r in m.group(1).split(",")}
+                if allowed & names:
+                    return True
+        return False
+
+    def has_annotation(self, annotation, i):
+        """True if `annotation` appears in a comment on line i, or anywhere
+        in the contiguous comment-only block directly above it (so a
+        multi-line justification comment anchors as one unit)."""
+        if annotation in self.comment(i):
+            return True
+        j = i - 1
+        while j >= 1 and not self.code(j).strip() and self.comment(j).strip():
+            if annotation in self.comment(j):
+                return True
+            j -= 1
+        return False
+
+    def fixed_draws_at(self, i):
+        """The `// wmsn:fixed-draws` contract: the annotation may sit on the
+        draw line (or the comment block above it), the innermost
+        conditional's header line (or its comment block), or the enclosing
+        function's header line (or its comment block) — function-level
+        placement asserts the whole function's draw pattern is
+        simulation-state-deterministic."""
+        if self.has_annotation(FIXED_DRAWS_ANNOTATION, i):
+            return True
+        info = self.info(i)
+        for anchor in (info.conditional_header, info.function_header):
+            if anchor and self.has_annotation(FIXED_DRAWS_ANNOTATION, anchor):
+                return True
+        return False
+
+
+def strip_comments(text):
+    """Blank out comments and string/char literal *contents*, preserving the
+    line structure and the literal delimiters. Returns (code_lines,
+    comment_lines): the comment text is preserved per line so annotation
+    and suppression comments stay findable."""
+    code = []
+    comments = []
+    cur_code = []
+    cur_comment = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw_string
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            code.append("".join(cur_code))
+            comments.append("".join(cur_comment))
+            cur_code, cur_comment = [], []
+            if state == "line_comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if c == '"':
+                # R"delim( ... )delim" raw strings
+                m = re.match(r'R"([^()\\ ]{0,16})\(', text[i - 1:i + 20]) \
+                    if i > 0 and text[i - 1] == "R" else None
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = "raw_string"
+                    cur_code.append('"')
+                    i += 1 + len(m.group(1)) + 1
+                    continue
+                state = "string"
+                cur_code.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                cur_code.append("'")
+                i += 1
+                continue
+            cur_code.append(c)
+            i += 1
+            continue
+        if state in ("line_comment", "block_comment"):
+            if state == "block_comment" and c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            cur_comment.append(c)
+            i += 1
+            continue
+        if state == "string":
+            if c == "\\":
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                cur_code.append('"')
+            i += 1
+            continue
+        if state == "char":
+            if c == "\\":
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                cur_code.append("'")
+            i += 1
+            continue
+        if state == "raw_string":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                cur_code.append('"')
+                i += len(raw_delim)
+                continue
+            i += 1
+            continue
+    code.append("".join(cur_code))
+    comments.append("".join(cur_comment))
+    return code, comments
+
+
+_HEADER_IF = re.compile(r"(?:^|\W)if\s*\($")
+_HEADER_SWITCH = re.compile(r"(?:^|\W)switch\s*\($")
+_HEADER_LOOP = re.compile(r"(?:^|\W)(for|while)\s*\($")
+_HEADER_TYPE = re.compile(r"\b(namespace|class|struct|enum|union)\b")
+_HEADER_FUNC_TAIL = re.compile(
+    r"\)\s*(const|noexcept(\s*\([^)]*\))?|override|final|->\s*[\w:<>,&*\s]+|\s)*$")
+
+
+def _classify_header(header, paren_headers):
+    """Classify the statement text preceding a '{'.
+
+    `paren_headers` is the list of control keywords whose '(' opened and
+    closed inside this header (collected by the scanner) — more reliable
+    than re-parsing the flattened text."""
+    h = header.strip()
+    if not h:
+        return "block"
+    if "else" in paren_headers or re.search(r"(?:^|\})\s*else\s*$", h):
+        return "else"
+    if "if" in paren_headers:
+        return "if"
+    if "switch" in paren_headers:
+        return "switch"
+    if "for" in paren_headers or "while" in paren_headers or \
+            re.search(r"(?:^|\W)do\s*$", h):
+        return "loop"
+    if _HEADER_TYPE.search(h) and not h.rstrip().endswith(")"):
+        return "type"
+    if re.search(r"\]\s*(\([^()]*\))?\s*(mutable|noexcept|->\s*[\w:<>,&*\s]+)*\s*$", h):
+        return "lambda"
+    if _HEADER_FUNC_TAIL.search(h):
+        return "function"
+    if h.endswith("=") or h.endswith(",") or h.endswith("(") or h.endswith("{"):
+        return "init"
+    return "block"
+
+
+def track_scopes(code_lines):
+    """Single pass over the cleaned lines building per-line scope context.
+
+    Tracks a brace-scope stack (function / if / else / switch / loop /
+    type / lambda / block), plus braceless conditional bodies
+    (`if (x) stmt;`) which stay conditional until the statement's ';'."""
+    infos = [LineInfo() for _ in code_lines]
+    stack = [Scope("top", 0)]
+    header = []          # chars since last ; { } at paren depth 0
+    header_start = None  # line where current header began
+    paren_depth = 0
+    paren_headers = []   # control keywords whose ( .. ) closed in this header
+    braceless = []       # [(kind, header_line)] awaiting their ';'
+    pending_ctrl = None  # (kind, header_line): control header closed, no '{' yet
+
+    def snapshot(line_no):
+        info = infos[line_no - 1]
+        func = None
+        cond = None
+        loop = False
+        for s in stack:
+            if s.kind in FUNCTION_KINDS:
+                func = s.header_line
+                cond = None
+                loop = False
+            elif s.kind in CONDITIONAL_KINDS:
+                cond = s.header_line
+            elif s.kind == "loop":
+                loop = True
+        for kind, hline in braceless:
+            if kind in CONDITIONAL_KINDS:
+                cond = hline
+        if pending_ctrl and pending_ctrl[0] in CONDITIONAL_KINDS:
+            cond = pending_ctrl[1]
+        info.conditional_header = cond
+        info.function_header = func
+        info.in_loop = loop
+
+    for line_no, line in enumerate(code_lines, start=1):
+        snapshot(line_no)
+        for idx, c in enumerate(line):
+            if c in " \t":
+                header.append(c)
+                continue
+            if header_start is None and c not in "}{;":
+                header_start = line_no
+            if c == "(":
+                if paren_depth == 0:
+                    m = re.search(r"(if|switch|for|while)\s*$",
+                                  "".join(header))
+                    paren_headers.append(m.group(1) if m else None)
+                paren_depth += 1
+                header.append(c)
+                continue
+            if c == ")":
+                paren_depth = max(0, paren_depth - 1)
+                header.append(c)
+                if paren_depth == 0 and paren_headers and paren_headers[-1]:
+                    kind = paren_headers[-1]
+                    if kind == "if":
+                        pending_ctrl = ("if", header_start or line_no)
+                    elif kind == "switch":
+                        pending_ctrl = ("switch", header_start or line_no)
+                    elif kind in ("for", "while"):
+                        pending_ctrl = ("loop", header_start or line_no)
+                # re-snapshot so a braceless body on this same line (after
+                # the ')') still sees the pending conditional
+                snapshot(line_no)
+                continue
+            if paren_depth > 0:
+                header.append(c)
+                continue
+            if c == "{":
+                kws = [k for k in paren_headers if k]
+                text = "".join(header)
+                if pending_ctrl and pending_ctrl[0] == "if" and "if" not in kws:
+                    kws.append("if")
+                if re.search(r"(?:^|\})\s*else\s*$", text.strip()):
+                    kws.append("else")
+                kind = _classify_header(text, kws)
+                stack.append(Scope(kind, header_start or line_no))
+                header = []
+                header_start = None
+                paren_headers = []
+                pending_ctrl = None
+                snapshot(line_no)
+                continue
+            if c == "}":
+                if len(stack) > 1:
+                    stack.pop()
+                header = []
+                header_start = None
+                paren_headers = []
+                pending_ctrl = None
+                snapshot(line_no)
+                continue
+            if c == ";":
+                if pending_ctrl:
+                    # `if (x) ;` or `if (x) stmt;` on one statement: the
+                    # statement just ended, conditional over.
+                    pending_ctrl = None
+                elif braceless:
+                    braceless.pop()
+                header = []
+                header_start = None
+                paren_headers = []
+                snapshot(line_no)
+                continue
+            # Any other code character: if a control header is pending and
+            # this is not '{', we are entering a braceless body.
+            if pending_ctrl:
+                braceless.append(pending_ctrl)
+                pending_ctrl = None
+                snapshot(line_no)
+            if header_start is None:
+                header_start = line_no
+            header.append(c)
+        # `else` keyword followed by newline then statement: keep pending
+        tail = "".join(header).strip()
+        if tail.endswith("else"):
+            pending_ctrl = ("else", line_no)
+    return infos
+
+
+# ---------------------------------------------------------------------------
+# Manifest: path classes + whitelists
+# ---------------------------------------------------------------------------
+
+class Manifest:
+    """Path-class manifest (tools/analyze/manifest.toml).
+
+    * `classes.output`  — files that serialize results: metrics export,
+      reports, trace sinks, campaign artifacts. R1's reachability closure
+      seeds from these.
+    * `classes.parallel` — files the kernel rewrite will run concurrently;
+      R5 audits their floating-point accumulations.
+    * `whitelist.*` — per-rule prefix whitelists (R3 clock telemetry, the
+      RNG façade, ...).
+    """
+
+    def __init__(self, data=None):
+        data = data or {}
+        classes = data.get("classes", {})
+        self.output_seeds = tuple(classes.get("output", ()))
+        self.parallel = tuple(classes.get("parallel", ()))
+        wl = data.get("whitelist", {})
+        self.rng_facade = tuple(wl.get("rng-facade", ("src/util/random.",)))
+        self.clock_telemetry = tuple(wl.get("clock-telemetry", ()))
+        self.all_classes = False  # fixture mode: every file in every class
+
+    @classmethod
+    def load(cls, root):
+        path = os.path.join(root, MANIFEST_RELPATH)
+        if not os.path.isfile(path):
+            return cls()
+        return cls(_load_toml(path))
+
+    @classmethod
+    def fixture_mode(cls):
+        m = cls()
+        m.all_classes = True
+        return m
+
+    @staticmethod
+    def _match(rel, prefixes):
+        rel = rel.replace(os.sep, "/")
+        return any(rel.startswith(p) for p in prefixes)
+
+    def is_output_seed(self, rel):
+        return self.all_classes or self._match(rel, self.output_seeds)
+
+    def is_parallel(self, rel):
+        return self.all_classes or self._match(rel, self.parallel)
+
+    def is_rng_facade(self, rel):
+        return not self.all_classes and self._match(rel, self.rng_facade)
+
+    def is_clock_telemetry(self, rel):
+        return not self.all_classes and self._match(rel, self.clock_telemetry)
+
+
+def _load_toml(path):
+    with open(path, "rb") as f:
+        if tomllib is not None:
+            return tomllib.load(f)
+        return _mini_toml(f.read().decode("utf-8", errors="replace"))
+
+
+def _mini_toml(text):
+    """Tiny fallback for images older than Python 3.11: handles exactly the
+    subset the manifest/ledger use — [table], [[array-of-tables]], string
+    keys, integers, and arrays of strings."""
+    root = {}
+    current = root
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = re.match(r"^\[\[([\w.-]+)\]\]$", line)
+        if m:
+            current = {}
+            root.setdefault(m.group(1), []).append(current)
+            continue
+        m = re.match(r"^\[([\w.-]+)\]$", line)
+        if m:
+            current = root.setdefault(m.group(1), {})
+            continue
+        m = re.match(r'^([\w-]+)\s*=\s*(.+)$', line)
+        if not m:
+            continue
+        key, val = m.group(1), m.group(2).strip()
+        if val.startswith("["):
+            current[key] = re.findall(r'"((?:[^"\\]|\\.)*)"', val)
+        elif val.startswith('"'):
+            current[key] = re.match(r'"((?:[^"\\]|\\.)*)"', val).group(1)
+        elif re.match(r"^-?\d+$", val):
+            current[key] = int(val)
+        else:
+            current[key] = val
+    return root
+
+
+# ---------------------------------------------------------------------------
+# Include graph / R1 reachability
+# ---------------------------------------------------------------------------
+
+def build_reachability(files, manifest):
+    """R1's sensitive set: every file an output-path file can reach.
+
+    Seeds are the manifest's `classes.output` files. Edges are quoted
+    #include targets, resolved against the repo root and the including
+    file's directory, PLUS header→implementation pairing (foo.hpp pulls in
+    foo.cpp): a function defined in foo.cpp runs when an output path calls
+    through foo.hpp, so the pair travels together."""
+    by_rel = {f.rel.replace(os.sep, "/"): f for f in files}
+
+    def resolve(rel, inc):
+        inc = inc.replace("\\", "/")
+        cand = os.path.normpath(
+            os.path.join(os.path.dirname(rel), inc)).replace(os.sep, "/")
+        if cand in by_rel:
+            return cand
+        if inc in by_rel:
+            return inc
+        for prefix in ("src/",):
+            if prefix + inc in by_rel:
+                return prefix + inc
+        return None
+
+    edges = {}
+    for rel, f in by_rel.items():
+        targets = set()
+        for inc in f.includes:
+            t = resolve(rel, inc)
+            if t:
+                targets.add(t)
+        # hpp <-> cpp pairing (both directions: the implementation of a
+        # reachable header is reachable, and a reachable .cpp's own header
+        # already arrives via its #include).
+        stem = re.sub(r"\.(hpp|h|cpp)$", "", rel)
+        for ext in (".hpp", ".h", ".cpp"):
+            pair = stem + ext
+            if pair != rel and pair in by_rel:
+                targets.add(pair)
+        edges[rel] = targets
+
+    sensitive = set()
+    frontier = [rel for rel in by_rel if manifest.is_output_seed(rel)]
+    while frontier:
+        rel = frontier.pop()
+        if rel in sensitive:
+            continue
+        sensitive.add(rel)
+        frontier.extend(edges.get(rel, ()))
+    return sensitive
+
+
+# ---------------------------------------------------------------------------
+# Suppression ledger
+# ---------------------------------------------------------------------------
+
+class LedgerEntry:
+    __slots__ = ("rule", "file", "line", "contains", "reason",
+                 "toml_line", "matched")
+
+    def __init__(self, rule, file, line, contains, reason, toml_line):
+        self.rule = rule
+        self.file = file
+        self.line = line
+        self.contains = contains
+        self.reason = reason
+        self.toml_line = toml_line
+        self.matched = 0
+
+    def matches(self, finding, raw_line):
+        if self.rule != finding.rule:
+            return False
+        if self.file != finding.file.replace(os.sep, "/"):
+            return False
+        if self.line is not None and self.line != finding.line:
+            return False
+        if self.contains and self.contains not in raw_line:
+            return False
+        return True
+
+
+class Ledger:
+    """tools/analyze/suppressions.toml — the only suppression channel for
+    the determinism rules. Audited: entries without a justification, with
+    an unknown rule id, or matching nothing are findings themselves."""
+
+    def __init__(self, entries, audit_findings):
+        self.entries = entries
+        self.audit_findings = audit_findings
+
+    @classmethod
+    def load(cls, root, known_rules, path=None):
+        path = path or os.path.join(root, LEDGER_RELPATH)
+        entries = []
+        audit = []
+        if not os.path.isfile(path):
+            return cls(entries, audit)
+        data = _load_toml(path)
+        # tomllib gives no line numbers; recover each entry's line by
+        # scanning for the n-th [[suppress]] header (a trailing comment on
+        # the header line is fine).
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+        headers = [i + 1 for i, l in enumerate(lines)
+                   if l.strip().startswith("[[suppress]]")]
+        for idx, item in enumerate(data.get("suppress", [])):
+            toml_line = headers[idx] if idx < len(headers) else 1
+            rule = item.get("rule", "")
+            file = item.get("file", "")
+            reason = (item.get("reason") or "").strip()
+            problems = []
+            if rule not in known_rules:
+                problems.append(f"unknown rule id '{rule}'")
+            if not file:
+                problems.append("missing 'file'")
+            if len(reason) < MIN_REASON_LEN:
+                problems.append(
+                    "missing or too-short 'reason' (a real justification "
+                    f"of >= {MIN_REASON_LEN} chars is mandatory)")
+            if problems:
+                audit.append(Finding(
+                    "invalid-suppression", LEDGER_RELPATH, toml_line,
+                    "; ".join(problems)))
+                continue
+            entries.append(LedgerEntry(
+                rule, file, item.get("line"), item.get("contains"),
+                reason, toml_line))
+        return cls(entries, audit)
+
+    def apply(self, findings, raw_line_of, active_rules=None):
+        """Mark suppressed findings; afterwards report stale entries.
+
+        `active_rules` limits the staleness audit to entries whose rule
+        actually ran this invocation — a partial `--rules` run must not
+        condemn entries for rules it never gave a chance to fire.
+        """
+        for finding in findings:
+            if finding.suppressed:
+                continue
+            raw = raw_line_of(finding)
+            for e in self.entries:
+                if e.matches(finding, raw):
+                    e.matched += 1
+                    finding.suppressed = "ledger"
+                    finding.reason = e.reason
+                    break
+        stale = [
+            Finding("stale-suppression", LEDGER_RELPATH, e.toml_line,
+                    f"entry for [{e.rule}] {e.file}"
+                    f"{':' + str(e.line) if e.line else ''} matches no "
+                    "finding; delete it (the hazard it excused is gone)")
+            for e in self.entries
+            if e.matched == 0
+            and (active_rules is None or e.rule in active_rules)
+        ]
+        return self.audit_findings + stale
+
+
+# ---------------------------------------------------------------------------
+# Tree walking
+# ---------------------------------------------------------------------------
+
+def collect_files(root, scan_dirs=SCAN_DIRS, extensions=EXTENSIONS):
+    """Load every C++ file under the scan dirs, tokenized."""
+    files = []
+    for sub in scan_dirs:
+        base = os.path.join(root, sub)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith("build") and d != "golden")
+            for name in sorted(filenames):
+                if not name.endswith(extensions):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    files.append(SourceFile(rel, f.read()))
+    return files

@@ -1,0 +1,7 @@
+#pragma once
+
+// Legacy clean counterpart — guarded header, tolerance-based comparison.
+inline bool nearUnit(double x) {
+  const double eps = 1e-9;
+  return x > 1.0 - eps && x < 1.0 + eps;
+}

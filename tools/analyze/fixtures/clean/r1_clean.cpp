@@ -1,0 +1,18 @@
+// R1 clean counterpart — point lookups and id-ordered iteration keep the
+// unordered map's bucket order out of the output.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct Report {
+  std::unordered_map<std::uint32_t, double> latencyByNode_;
+
+  double total(const std::vector<std::uint32_t>& idsInOrder) const {
+    double sum = 0.0;
+    for (std::uint32_t id : idsInOrder) {
+      auto it = latencyByNode_.find(id);
+      if (it != latencyByNode_.end()) sum = sum + it->second;
+    }
+    return sum;
+  }
+};

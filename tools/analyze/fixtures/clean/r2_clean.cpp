@@ -1,0 +1,14 @@
+// R2 clean counterpart — containers keyed by stable ids, not addresses.
+#include <cstdint>
+#include <map>
+#include <set>
+
+struct Router {
+  std::map<std::uint32_t, double> costById_;
+  std::set<std::uint64_t> seenUids_;
+
+  double cost(std::uint32_t id) const {
+    auto it = costById_.find(id);
+    return it != costById_.end() ? it->second : 0.0;
+  }
+};

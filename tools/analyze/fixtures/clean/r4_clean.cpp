@@ -1,0 +1,39 @@
+// R4 clean counterpart — annotated conditional draws, one per anchor
+// position (draw line, conditional header, function header), plus an
+// unconditional draw that needs no annotation.
+struct Rng {
+  double uniform01();
+};
+
+struct Sampler {
+  Rng rng_;
+
+  double onDrawLine(bool armed) {
+    double v = 0.0;
+    if (armed) {
+      // wmsn:fixed-draws — fixture: the predicate is a config constant.
+      v = rng_.uniform01();
+    }
+    return v;
+  }
+
+  double onConditionalHeader(bool armed) {
+    double v = 0.0;
+    // wmsn:fixed-draws — fixture: anchor on the `if` header covers the
+    // whole branch body.
+    if (armed) {
+      v = rng_.uniform01();
+    }
+    return v;
+  }
+
+  // wmsn:fixed-draws — fixture: function-level anchor covers every draw
+  // in the body, including the braceless one.
+  double onFunctionHeader(bool armed) {
+    double v = 1.0;
+    if (armed) v = rng_.uniform01();
+    return v;
+  }
+
+  double unconditional() { return rng_.uniform01(); }
+};

@@ -1,0 +1,13 @@
+// R5 clean counterpart — integer accumulators may fold freely; float
+// state updated by plain assignment is not a reduction.
+#include <cstdint>
+
+struct Stats {
+  std::uint64_t frames_ = 0;
+  double mean_ = 0.0;
+
+  void onFrame(double sample) {
+    frames_ += 1;
+    mean_ = mean_ + (sample - mean_) / static_cast<double>(frames_);
+  }
+};

@@ -1,0 +1,12 @@
+// R6 clean counterpart — trace/perf ride their null-guard macros and the
+// invariant condition is a pure comparison. (Stub macros: analyzer input,
+// not compiled.)
+#define WMSN_TRACE(tracer, ...) ((void)0)
+#define WMSN_PERF(counter, ...) ((void)0)
+#define WMSN_INVARIANT(cond) ((void)0)
+
+inline void record(int v) {
+  WMSN_TRACE(nullptr, v);
+  WMSN_PERF(kFramesOffered);
+  WMSN_INVARIANT(v >= 0);
+}

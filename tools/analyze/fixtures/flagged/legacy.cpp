@@ -1,0 +1,24 @@
+// Legacy lint-group fixtures — float equality, process discipline,
+// range-scan discipline, single-slot observer.
+#include <cstdlib>
+#include <functional>
+
+inline bool atUnit(double x) {
+  return x == 1.0;  // expect: float-equality
+}
+
+inline void shell() {
+  std::system("true");  // expect: process-discipline
+}
+
+struct Radio {
+  bool linked(int a, int b);
+};
+
+inline bool near(Radio& r) {
+  return r.linked(0, 1);  // expect: rangescan-discipline
+}
+
+struct Hub {
+  std::function<void(int)> frameObserver_;  // expect: observer-contract
+};

@@ -1,0 +1,2 @@
+// expect: include-guard
+struct FixtureGuardless {};

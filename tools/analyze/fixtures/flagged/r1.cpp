@@ -1,0 +1,20 @@
+// R1 fixture — unordered-container iteration in an output-reachable file
+// (fixture mode puts every file in the output class).
+#include <cstdint>
+#include <unordered_map>
+
+struct Report {
+  std::unordered_map<std::uint32_t, double> latencyByNode_;
+
+  double sum() const {
+    double total = 0.0;
+    for (const auto& kv : latencyByNode_)  // expect: R1-unordered-iteration
+      total = total + kv.second;
+    return total;
+  }
+
+  void walk() const {
+    auto it = latencyByNode_.begin();  // expect: R1-unordered-iteration
+    (void)it;
+  }
+};

@@ -1,0 +1,15 @@
+// R2 fixture — pointer-keyed ordering and address hashing.
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+struct Node;
+
+struct Registry {
+  std::map<Node*, int> rankByNode_;            // expect: R2-pointer-keyed-order
+  std::unordered_map<const Node*, int> hits_;  // expect: R2-pointer-keyed-order
+  std::set<Node*, std::less<Node*>> order_;    // expect: R2-pointer-keyed-order
+};
+
+using NodeHash = std::hash<Node*>;  // expect: R2-pointer-keyed-order

@@ -1,0 +1,15 @@
+// R3 fixture — ambient nondeterminism sources outside any whitelist
+// (fixture mode has no telemetry whitelist and no RNG facade).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>  // expect: R3-nondet-source
+
+inline long stamp() {
+  return std::chrono::steady_clock::now()  // expect: R3-nondet-source
+      .time_since_epoch()
+      .count();
+}
+
+inline const char* crashHook() {
+  return std::getenv("WMSN_FIXTURE");  // expect: R3-nondet-source
+}

@@ -1,0 +1,28 @@
+// R4 fixture — Rng draws inside conditionals with NO fixed-draws
+// annotation: braced if-body, braceless same-line body, short-circuit.
+struct Rng {
+  double uniform01();
+  bool chance(double p);
+};
+
+struct Sampler {
+  Rng rng_;
+
+  double bracedBody(bool armed) {
+    double v = 0.0;
+    if (armed) {
+      v = rng_.uniform01();  // expect: R4-rng-draw-divergence
+    }
+    return v;
+  }
+
+  double bracelessBody(bool armed) {
+    double v = 0.0;
+    if (armed) v = rng_.uniform01();  // expect: R4-rng-draw-divergence
+    return v;
+  }
+
+  bool shortCircuit(bool alive) {
+    return alive && rng_.chance(0.5);  // expect: R4-rng-draw-divergence
+  }
+};

@@ -1,0 +1,13 @@
+// R5 fixture — floating-point compound accumulation in a file the kernel
+// parallelizes (fixture mode puts every file in the parallel class).
+struct Battery {
+  double remaining_ = 1.0;
+
+  void draw(double joules) {
+    remaining_ -= joules;  // expect: R5-float-reduction
+  }
+
+  void refund(double joules) {
+    remaining_ += joules;  // expect: R5-float-reduction
+  }
+};

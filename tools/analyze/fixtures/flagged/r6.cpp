@@ -1,0 +1,14 @@
+// R6 fixture — raw trace emission bypassing WMSN_TRACE, and a
+// side-effecting WMSN_INVARIANT condition. (Analyzer input, not compiled:
+// Tracer stays an incomplete type on purpose.)
+struct Tracer;
+
+inline void record(Tracer* t, int v) {
+  t->emitSpan(v);  // expect: R6-macro-discipline
+}
+
+#define WMSN_INVARIANT(cond) ((void)0)
+
+inline void tick(int n) {
+  WMSN_INVARIANT(++n > 0);  // expect: R6-macro-discipline
+}

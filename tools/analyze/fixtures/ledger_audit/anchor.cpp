@@ -1,0 +1,8 @@
+// Ledger-audit fixture: the R5 finding below is matched by the first
+// ledger entry; the remaining entries are stale or invalid and must be
+// reported by the ledger's self-audit (see suppressions.toml markers).
+struct Meter {
+  double total_ = 0.0;
+
+  void accumulate(double v) { total_ += v; }
+};

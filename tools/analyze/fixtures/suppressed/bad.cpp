@@ -1,0 +1,14 @@
+// Ledger round-trip fixture: both findings below (R3 steady_clock, R5
+// float reduction) are covered by this case's suppressions.toml, so the
+// analyzer must report nothing for this directory.
+#include <chrono>
+
+struct Telemetry {
+  double seconds_ = 0.0;
+
+  void tick(double dt) { seconds_ += dt; }
+
+  long stamp() const {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+};
